@@ -1,0 +1,82 @@
+"""Design-choice ablations called out in DESIGN.md §5.
+
+Not a paper table — these sweep PREFENDER's own knobs to show which design
+choices carry the defense:
+
+* ST's trigger window (``cacheline < sc < page``): prefetching at scale 64
+  (== cacheline) would be a no-op against the 0x200-stride attack.
+* AT's activation threshold: the defense degrades gracefully as the
+  threshold rises (fewer probes covered before prefetching starts).
+* Access-buffer count under C3 noise: with RP disabled, more buffers than
+  distinct noise PCs restore the AT defense — buffer count is a (costly)
+  alternative to the Record Protector.
+"""
+
+from dataclasses import replace
+
+from repro.attacks import FlushReloadAttack
+from repro.core.config import PrefenderConfig
+from repro.sim.config import PrefetcherSpec, SystemConfig
+
+
+def run_attack(config: PrefenderConfig, **attack_kwargs):
+    attack = FlushReloadAttack(**attack_kwargs)
+    return attack.run(
+        SystemConfig(prefetcher=PrefetcherSpec(kind="prefender", prefender=config))
+    )
+
+
+def test_at_threshold_sweep(benchmark):
+    def sweep():
+        results = {}
+        for threshold in (2, 4, 6):
+            config = replace(
+                PrefenderConfig.at_only().with_buffers(8), at_threshold=threshold
+            )
+            results[threshold] = run_attack(config)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for threshold, outcome in results.items():
+        assert outcome.defended, f"threshold {threshold}"
+    # Lower thresholds start prefetching earlier -> at least as many decoys.
+    assert len(results[2].candidates) >= len(results[6].candidates) - 8
+
+
+def test_buffer_count_vs_c3_noise(benchmark):
+    """More buffers than noise PCs is the brute-force alternative to RP."""
+
+    def sweep():
+        few = run_attack(
+            PrefenderConfig.at_only().with_buffers(8), noise_c3=True
+        )
+        many = run_attack(
+            PrefenderConfig.at_only().with_buffers(32), noise_c3=True
+        )
+        return few, many
+
+    few, many = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert few.attack_succeeded, "8 buffers thrashed by 12 noise PCs"
+    assert many.defended, "32 buffers absorb the noise without RP"
+
+
+def test_st_scale_window_boundary(benchmark):
+    """An attack at exactly cacheline stride never triggers ST."""
+
+    def run():
+        # scale == 64 == cacheline: ST must stay silent (sc not > cacheline).
+        outcome = run_attack(PrefenderConfig.st_only(), secret=20)
+        inrange = outcome.run_result.prefetch_counts[0].get("st", 0)
+        at_64 = FlushReloadAttack(secret=20, scale=64, num_indices=64).run(
+            SystemConfig(
+                prefetcher=PrefetcherSpec(
+                    kind="prefender", prefender=PrefenderConfig.st_only()
+                )
+            )
+        )
+        silent = at_64.run_result.prefetch_counts[0].get("st", 0)
+        return inrange, silent
+
+    inrange, silent = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert inrange > 0, "0x200-scale attack triggers ST"
+    assert silent == 0, "cacheline-scale access must not trigger ST"

@@ -1,0 +1,29 @@
+"""Figure 10: normalized total L1D miss latency.
+
+Shape targets: PREFENDER configurations reduce average miss latency below
+the baseline (normalized < 1.0 on average); prefetch-friendly benchmarks
+sit well below 1.
+"""
+
+from conftest import perf_scale
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, emit):
+    result = benchmark.pedantic(
+        figure10.run, kwargs={"scale": perf_scale()}, rounds=1, iterations=1
+    )
+    emit("figure10", figure10.render(result))
+
+    averages = result.averages()
+    assert averages["ST+AT"] < 1.0
+    assert averages["Prefender"] < 1.0
+    assert averages["ST+AT(T)"] < 1.0
+    assert averages["ST+AT(S)"] < 1.0
+
+    st_at = result.normalized("ST+AT")
+    assert st_at["462.libquantum"] < 0.9
+    assert st_at["429.mcf"] < 0.9
+    # Compute-only benchmark is untouched (no misses either way).
+    assert abs(st_at["999.specrand"] - 1.0) < 1e-9

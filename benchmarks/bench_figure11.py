@@ -1,0 +1,27 @@
+"""Figure 11: prefetches issued by ST / AT / RP per benchmark.
+
+Shape targets (paper Sec. V-D): the Access Tracker issues the most
+prefetches; RP-guided prefetches outnumber the Scale Tracker's
+(RP triggers on every scale-buffer hit; ST only on fresh large scales).
+"""
+
+from conftest import perf_scale
+
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark, emit):
+    result = benchmark.pedantic(
+        figure11.run, kwargs={"scale": perf_scale()}, rounds=1, iterations=1
+    )
+    emit("figure11", figure11.render(result))
+
+    totals = result.totals()
+    assert totals["at"] > totals["st"], "AT dominates (paper Fig. 11)"
+    assert totals["at"] > totals["rp"]
+    assert totals["rp"] > 0, "RP guidance active on scale-recording workloads"
+
+    by_name = {row[0]: row[1:] for row in result.rows}
+    st, at, rp = by_name["999.specrand"]
+    assert (st, at, rp) == (0, 0, 0), "compute-only benchmark never prefetches"
+    assert by_name["510.parest_r" if "510.parest_r" in by_name else "429.mcf"][0] > 0

@@ -1,0 +1,30 @@
+"""Figure 12: protected access buffers over execution progress.
+
+Shape targets (paper Sec. V-D): benchmarks split into classes — some keep
+many protected buffers, compute-only/random ones keep none.
+"""
+
+from conftest import perf_scale
+
+from repro.experiments import figure12
+
+# A compact benchmark subset showing both classes.
+WORKLOADS = ["429.mcf", "458.sjeng", "462.libquantum", "999.specrand"]
+
+
+def test_figure12(benchmark, emit):
+    series = benchmark.pedantic(
+        figure12.run,
+        kwargs={"scale": perf_scale(), "workloads": WORKLOADS},
+        rounds=1,
+        iterations=1,
+    )
+    emit("figure12", figure12.render(series))
+
+    peaks = {entry.benchmark: entry.peak for entry in series}
+    # mcf's indirect phase records scales -> buffers get protected.
+    assert peaks["429.mcf"] > 0
+    # compute-only code never records a scale, so nothing is protected.
+    assert peaks["999.specrand"] == 0
+    for entry in series:
+        assert all(0 <= p <= 32 for p in entry.protected)

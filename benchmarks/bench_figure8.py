@@ -1,0 +1,35 @@
+"""Figure 8: the security matrix — every attack x challenge x defense.
+
+Shape targets (DESIGN.md): baseline uniquely leaks; ST yields secret±1;
+AT floods under C1+C2 but fails under C3/C4; RP restores the defense;
+full PREFENDER defends everything.
+"""
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark, emit):
+    panels = benchmark.pedantic(figure8.run, rounds=1, iterations=1)
+    emit("figure8", figure8.render(panels))
+    verdicts = figure8.verdicts(panels)
+
+    for attack in ("Flush+Reload", "Evict+Reload", "Prime+Probe"):
+        # Panels (a-c): baseline leaks, every PREFENDER variant defends.
+        assert verdicts[(attack, "C1+C2", "Base")] is True
+        for defense in ("ST", "AT", "ST+AT"):
+            assert verdicts[(attack, "C1+C2", defense)] is False
+        # Panels (d-i): AT alone breaks under noise, AT+RP holds.
+        assert verdicts[(attack, "C1+C2+C3", "AT")] is True
+        assert verdicts[(attack, "C1+C2+C3", "AT+RP")] is False
+        assert verdicts[(attack, "C1+C2+C4", "AT")] is True
+        assert verdicts[(attack, "C1+C2+C4", "AT+RP")] is False
+        # Panels (j-l): all challenges, full PREFENDER defends.
+        assert verdicts[(attack, "C1+C2+C3+C4", "Base")] is True
+        assert verdicts[(attack, "C1+C2+C3+C4", "FULL")] is False
+
+    # The ST defense produces the paper's secret±1 signature.
+    for panel in panels:
+        if panel.challenges == "C1+C2" and "ST" in panel.outcomes:
+            outcome = panel.outcomes["ST"]
+            expected = {outcome.secret - 1, outcome.secret, outcome.secret + 1}
+            assert set(outcome.candidates) == expected

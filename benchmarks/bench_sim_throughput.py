@@ -1,0 +1,20 @@
+"""Simulator throughput: instructions per second on a standard workload.
+
+Not a paper artifact — a regression guard so the experiment suite stays
+runnable (the tables re-run ~150 simulations).
+"""
+
+from repro import SystemConfig
+from repro.experiments.common import PERF_CORE
+from repro.sim.simulator import run_program
+from repro.workloads import get_workload
+
+
+def test_sim_throughput(benchmark):
+    program = get_workload("462.libquantum").program(0.25)
+
+    def run():
+        return run_program(program, SystemConfig(core=PERF_CORE))
+
+    result = benchmark(run)
+    assert result.instructions > 1000

@@ -1,0 +1,31 @@
+"""Table VI: SPEC 2017 speedups.
+
+Shape targets: parest is the PREFENDER standout (Scale-Tracker-friendly
+strided-sparse) and beats the plain Stride prefetcher there; streaming
+benchmarks (roms, cactuBSSN) gain most with Tagged; exchange2 flat;
+deepsjeng not positive.
+"""
+
+from conftest import perf_scale
+
+from repro.experiments import table6
+
+
+def test_table6(benchmark, emit):
+    result = benchmark.pedantic(
+        table6.run, kwargs={"scale": perf_scale()}, rounds=1, iterations=1
+    )
+    emit("table6", table6.render(result))
+
+    st_at = result.column("ST+AT")
+    tagged = result.column("Tagged")
+    stride = result.column("Stride")
+
+    assert st_at["510.parest_r"] > 0.02
+    assert st_at["510.parest_r"] > stride["510.parest_r"]
+    assert tagged["554.roms_r"] > 0.05
+    assert tagged["507.cactuBSSN_r"] > 0.05
+    assert abs(st_at["548.exchange2_r"]) < 0.001
+    assert st_at["531.deepsjeng_r"] < 0.01
+    for header, average in zip(result.headers[1:], result.averages):
+        assert average > 0, f"column {header} average not positive"

@@ -1,0 +1,34 @@
+"""Benchmark harness support.
+
+Each ``bench_*.py``/``test_*`` regenerates one paper table or figure,
+prints it to the terminal (visible even without ``-s``), writes it under
+``benchmarks/results/`` and asserts the DESIGN.md shape targets.
+
+``REPRO_SCALE`` (default 0.5) stretches/shrinks workload loop counts for
+the performance tables; 1.0 reproduces the EXPERIMENTS.md numbers exactly.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def perf_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "0.5"))
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a rendered artifact to the real terminal and archive it."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

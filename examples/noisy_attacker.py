@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Challenges C3/C4: why the Record Protector exists.
+
+C3 interleaves benign loads (distinct PCs) between probes, thrashing the
+Access Tracker's buffers.  C4 points the probe load itself at non-eviction
+lines, corrupting DiffMin.  Either defeats the Access Tracker alone; the
+Record Protector's scale buffer — fed by the victim's own trusted phase-2
+pattern — restores the defense (paper Fig. 8 d-l).
+"""
+
+from repro import PrefenderConfig, PrefetcherSpec, SystemConfig
+from repro.attacks import EvictReloadAttack
+
+
+def spec(config: PrefenderConfig) -> SystemConfig:
+    return SystemConfig(
+        prefetcher=PrefetcherSpec(kind="prefender", prefender=config)
+    )
+
+
+def main() -> None:
+    at_only = PrefenderConfig.at_only().with_buffers(8)
+    at_rp = PrefenderConfig.at_rp().with_buffers(8)
+    for challenge, kwargs in [
+        ("C3 (noisy instructions)", {"noise_c3": True}),
+        ("C4 (noisy accesses)", {"noise_c4": True}),
+        ("C3+C4", {"noise_c3": True, "noise_c4": True}),
+    ]:
+        print(f"== {challenge} ==")
+        for label, config in [("AT alone", at_only), ("AT + RP", at_rp)]:
+            outcome = EvictReloadAttack(**kwargs).run(spec(config))
+            print(f"  {label:>9}: {outcome.summary()}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Performance: PREFENDER on the SPEC-like workload models.
+
+Runs a compact version of Table IV's headline columns — baseline, the
+secure prefetcher alone, and the conventional prefetchers — over the
+SPEC 2006 models, printing per-benchmark speedups.
+"""
+
+from repro import PrefetcherSpec, SystemConfig
+from repro.core.config import PrefenderConfig
+from repro.experiments.common import PERF_CORE
+from repro.sim.simulator import run_program
+from repro.workloads import SPEC2006_NAMES, get_workload
+
+CONFIGS = [
+    ("Prefender", PrefetcherSpec(kind="prefender", prefender=PrefenderConfig.full(32))),
+    ("Tagged", PrefetcherSpec(kind="tagged")),
+    ("Stride", PrefetcherSpec(kind="stride")),
+]
+
+
+def main() -> None:
+    header = f"{'benchmark':<18}" + "".join(f"{name:>12}" for name, _ in CONFIGS)
+    print(header)
+    print("-" * len(header))
+    for name in SPEC2006_NAMES:
+        workload = get_workload(name)
+        baseline = run_program(
+            workload.program(0.5), SystemConfig(core=PERF_CORE)
+        ).cycles
+        cells = []
+        for _, spec in CONFIGS:
+            cycles = run_program(
+                workload.program(0.5), SystemConfig(prefetcher=spec, core=PERF_CORE)
+            ).cycles
+            cells.append(f"{baseline / cycles - 1:>+11.2%} ")
+        print(f"{name:<18}" + "".join(cells))
+
+
+if __name__ == "__main__":
+    main()

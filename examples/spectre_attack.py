@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Spectre v1 end to end: transient leak, cache channel, PREFENDER defense.
+
+The victim's bounds check is trained taken, then called out-of-bounds: the
+core follows the mispredicted path, transiently reads the secret and
+touches ``array2[secret * 0x200]``.  Architectural state rolls back; the
+cache keeps the footprint; Flush+Reload extracts it — unless PREFENDER's
+Scale Tracker saw the transient load's address dataflow and planted decoy
+lines.
+"""
+
+from repro import PrefenderConfig, PrefetcherSpec, SystemConfig
+from repro.attacks import FlushReloadAttack
+
+
+def run_variant(label: str, spec: PrefetcherSpec) -> None:
+    attack = FlushReloadAttack(victim_mode="spectre", secret=65)
+    outcome = attack.run(SystemConfig(prefetcher=spec))
+    squashes = outcome.run_result  # core stats live in the run result
+    print(f"{label:>24}: {outcome.summary()}")
+    del squashes
+
+
+def main() -> None:
+    print("Spectre v1 over Flush+Reload (single core, speculative CPU)\n")
+    run_variant("Baseline", PrefetcherSpec(kind="none"))
+    run_variant(
+        "Prefender-ST",
+        PrefetcherSpec(kind="prefender", prefender=PrefenderConfig.st_only()),
+    )
+    run_variant(
+        "Prefender (full)",
+        PrefetcherSpec(kind="prefender", prefender=PrefenderConfig.full(8)),
+    )
+    print(
+        "\nThe transient secret-dependent load carries scale 0x200 in its"
+        "\naddress dataflow (Table III); the Scale Tracker prefetches the"
+        "\nneighbouring eviction lines, so the reload phase cannot single"
+        "\nout the real access."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which need ``bdist_wheel``) are unavailable;
+``pip install -e . --no-build-isolation --no-use-pep517`` uses this shim via
+the classic ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

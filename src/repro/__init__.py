@@ -1,0 +1,68 @@
+"""PREFENDER reproduction: a secure prefetcher against cache side channels.
+
+Reproduces Li, Huang, Feng & Wang, *"PREFENDER: A Prefetching Defender
+against Cache Side Channel Attacks as A Pretender"* (DATE 2022 / arXiv
+2307.06756) as a pure-Python system: a small ISA and timing CPU (with a
+Spectre-capable speculative mode), a multi-level cache hierarchy, baseline
+prefetchers, the PREFENDER defense (Scale Tracker + Access Tracker + Record
+Protector), the paper's attacks, SPEC-like synthetic workloads and the full
+experiment harness for every table and figure.
+
+Quickstart::
+
+    from repro import PrefenderConfig, PrefetcherSpec, SystemConfig
+    from repro.attacks import FlushReloadAttack
+
+    attack = FlushReloadAttack(secret=65)
+    base = attack.run(SystemConfig())                       # undefended
+    defended = attack.run(SystemConfig(prefetcher=PrefetcherSpec(
+        kind="prefender", prefender=PrefenderConfig.full())))
+    print(base.inferred_secrets, defended.inferred_secrets)
+"""
+
+from repro.core.config import PrefenderConfig
+from repro.core.prefender import Prefender
+from repro.cpu.core import CoreConfig
+from repro.cpu.system import RunResult, System
+from repro.errors import (
+    AssemblyError,
+    ConfigError,
+    ExecutionError,
+    ReproError,
+    SimulationError,
+)
+from repro.isa.assembler import assemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.sim.config import PrefetcherSpec, SystemConfig, build_prefetcher
+from repro.sim.simulator import build_system, run_program, run_programs
+from repro.utils.addr import AddressMap
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressMap",
+    "AssemblyError",
+    "ConfigError",
+    "CoreConfig",
+    "ExecutionError",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "Prefender",
+    "PrefenderConfig",
+    "PrefetcherSpec",
+    "Program",
+    "ProgramBuilder",
+    "ReproError",
+    "RunResult",
+    "SimulationError",
+    "System",
+    "SystemConfig",
+    "assemble",
+    "build_prefetcher",
+    "build_system",
+    "run_program",
+    "run_programs",
+    "__version__",
+]

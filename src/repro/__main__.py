@@ -1,0 +1,111 @@
+"""Command-line front door: ``python -m repro <command>``.
+
+Commands:
+
+* ``attack``   — run one attack against one defense and print the verdict
+* ``figure8``  — regenerate the security matrix (one attack/challenge)
+* ``table``    — regenerate a performance table (4, 5 or 6)
+* ``hwcost``   — print the Section V-E resource report
+* ``ablation`` — run the Table II related-work ablation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.attacks import (
+    EvictReloadAttack,
+    EvictTimeAttack,
+    FlushReloadAttack,
+    PrimeProbeAttack,
+)
+from repro.experiments import figure8, related, table4, table5, table6
+from repro.experiments.common import security_spec
+from repro.hwcost import estimate, render_report
+from repro.sim.config import SystemConfig
+
+ATTACKS = {
+    "flush-reload": FlushReloadAttack,
+    "evict-reload": EvictReloadAttack,
+    "prime-probe": PrimeProbeAttack,
+    "evict-time": EvictTimeAttack,
+}
+
+DEFENSES = ("Base", "ST", "AT", "ST+AT", "AT+RP", "FULL")
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    attack_cls = ATTACKS[args.attack]
+    attack = attack_cls(
+        noise_c3=args.c3,
+        noise_c4=args.c4,
+        victim_mode="spectre" if args.spectre else "direct",
+        cross_core=args.cross_core,
+    )
+    outcome = attack.run(SystemConfig(prefetcher=security_spec(args.defense)))
+    print(outcome.summary())
+    return 0
+
+
+def _cmd_figure8(args: argparse.Namespace) -> int:
+    panels = figure8.run()
+    print(figure8.render(panels))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    module = {4: table4, 5: table5, 6: table6}[args.number]
+    result = module.run(scale=args.scale)
+    print(module.render(result))
+    return 0
+
+
+def _cmd_hwcost(args: argparse.Namespace) -> int:
+    print(render_report(estimate(buffers=args.buffers)))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    rows = related.run()
+    print(related.render(rows))
+    return 0 if all(row.matches_paper for row in rows) else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    attack = commands.add_parser("attack", help="run one attack")
+    attack.add_argument("attack", choices=sorted(ATTACKS))
+    attack.add_argument("--defense", choices=DEFENSES, default="Base")
+    attack.add_argument("--c3", action="store_true", help="noisy instructions")
+    attack.add_argument("--c4", action="store_true", help="noisy accesses")
+    attack.add_argument("--spectre", action="store_true")
+    attack.add_argument("--cross-core", action="store_true")
+    attack.set_defaults(handler=_cmd_attack)
+
+    fig8 = commands.add_parser("figure8", help="security matrix")
+    fig8.set_defaults(handler=_cmd_figure8)
+
+    table = commands.add_parser("table", help="performance tables")
+    table.add_argument("number", type=int, choices=(4, 5, 6))
+    table.add_argument("--scale", type=float, default=0.5)
+    table.set_defaults(handler=_cmd_table)
+
+    hwcost = commands.add_parser("hwcost", help="Section V-E report")
+    hwcost.add_argument("--buffers", type=int, default=32)
+    hwcost.set_defaults(handler=_cmd_hwcost)
+
+    ablation = commands.add_parser("ablation", help="Table II ablation")
+    ablation.set_defaults(handler=_cmd_ablation)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The paper's attacks: Flush+Reload, Evict+Reload, Prime+Probe.
+
+Each attack builds ISA programs (attacker + optional cross-core victim),
+runs them on a configured system and classifies the measured per-index
+latencies into an :class:`AttackOutcome` (candidate secrets, verdict).
+
+Challenge knobs (paper Sec. IV-A):
+
+* C1/C2 are inherent: the victim touches a single eviction cacheline and the
+  attacker probes in a register-generated pseudo-random order.
+* ``noise_c3=True`` interleaves benign loads (distinct PCs) between probes to
+  thrash the Access Tracker's buffers.
+* ``noise_c4=True`` makes the probe load itself touch non-eviction lines to
+  corrupt DiffMin.
+* ``victim_mode="spectre"`` (Flush+Reload) runs the victim access as a
+  genuine Spectre-v1 transient: a mistrained bounds check speculatively
+  reads out-of-bounds and leaves the secret-dependent line in the cache.
+"""
+
+from repro.attacks.base import AttackOutcome, CacheAttack
+from repro.attacks.layout import AttackLayout, AttackOptions
+from repro.attacks.flush_reload import FlushReloadAttack
+from repro.attacks.evict_reload import EvictReloadAttack
+from repro.attacks.prime_probe import PrimeProbeAttack
+from repro.attacks.evict_time import EvictTimeAttack
+
+__all__ = [
+    "AttackLayout",
+    "AttackOptions",
+    "AttackOutcome",
+    "CacheAttack",
+    "FlushReloadAttack",
+    "EvictReloadAttack",
+    "EvictTimeAttack",
+    "PrimeProbeAttack",
+]

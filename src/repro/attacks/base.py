@@ -1,0 +1,152 @@
+"""Attack orchestration and outcome classification.
+
+A :class:`CacheAttack` builds its programs, runs them on a configured
+system, reads the per-index latencies the attacker stored to memory and
+classifies them into *candidate secrets*.  The paper's success criterion:
+the attack succeeds when the latencies single out exactly the right index;
+PREFENDER's goal is to make that set ambiguous (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.attacks.layout import AttackLayout, AttackOptions
+from repro.cpu.core import CoreConfig
+from repro.cpu.system import RunResult
+from repro.isa.program import Program
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import build_system
+
+
+@dataclass
+class AttackOutcome:
+    """Classified result of one attack run."""
+
+    attack_name: str
+    challenges: str
+    defense_label: str
+    secret: int
+    latencies: list[int]
+    threshold: int
+    candidate_is_slow: bool
+    run_result: RunResult = field(repr=False)
+
+    @property
+    def candidates(self) -> list[int]:
+        """Indices whose latency marks them as possible secrets."""
+        if self.candidate_is_slow:
+            return [
+                i for i, lat in enumerate(self.latencies) if lat >= self.threshold
+            ]
+        return [
+            i
+            for i, lat in enumerate(self.latencies)
+            if 0 < lat < self.threshold
+        ]
+
+    @property
+    def attack_succeeded(self) -> bool:
+        """True when the attacker uniquely recovers the correct secret."""
+        return self.candidates == [self.secret]
+
+    @property
+    def defended(self) -> bool:
+        return not self.attack_succeeded
+
+    @property
+    def secret_is_candidate(self) -> bool:
+        """The victim's own access should always leave its trace."""
+        return self.secret in self.candidates
+
+    def series(self) -> tuple[list[int], list[int]]:
+        """(indices, latencies) for Fig. 8-style plotting."""
+        return list(range(len(self.latencies))), list(self.latencies)
+
+    def summary(self) -> str:
+        candidates = self.candidates
+        shown = candidates if len(candidates) <= 8 else candidates[:8] + ["..."]
+        verdict = "ATTACK SUCCEEDED" if self.attack_succeeded else "DEFENDED"
+        return (
+            f"{self.attack_name} ({self.challenges}) vs {self.defense_label}: "
+            f"{verdict} — {len(candidates)} candidate(s) {shown}, secret={self.secret}"
+        )
+
+
+class CacheAttack:
+    """Base class: build programs, run, classify."""
+
+    name = "attack"
+    hit_threshold = 65
+    candidate_is_slow = False
+    # Per-attack option defaults (Prime+Probe monitors 64 distinct L1 sets;
+    # more would alias within the 32KB set span and break even the baseline).
+    DEFAULT_OPTIONS: dict = {}
+
+    def __init__(
+        self,
+        options: AttackOptions | None = None,
+        layout: AttackLayout | None = None,
+        **option_overrides,
+    ) -> None:
+        if options is None:
+            merged = dict(self.DEFAULT_OPTIONS)
+            merged.update(option_overrides)
+            options = AttackOptions(**merged)
+        elif option_overrides:
+            options = replace(options, **option_overrides)
+        self.options = options
+        self.layout = layout or AttackLayout()
+
+    # -- hooks ------------------------------------------------------------------
+
+    def build_programs(self) -> list[Program]:
+        """One program per core (attacker first)."""
+        raise NotImplementedError
+
+    def adjust_core_config(self, config: CoreConfig) -> CoreConfig:
+        """Spectre variants enable speculation here."""
+        if self.options.victim_mode == "spectre":
+            return replace(
+                config,
+                speculative_execution=True,
+                resolve_delay=320,
+                spec_window=12,
+            )
+        return config
+
+    @property
+    def num_cores(self) -> int:
+        return 2 if self.options.cross_core else 1
+
+    # -- orchestration ------------------------------------------------------------
+
+    def run(
+        self,
+        system_config: SystemConfig | None = None,
+        max_steps: int = 20_000_000,
+    ) -> AttackOutcome:
+        """Build, simulate and classify one attack run."""
+        config = system_config or SystemConfig()
+        config = replace(
+            config,
+            num_cores=self.num_cores,
+            core=self.adjust_core_config(config.core),
+        )
+        programs = self.build_programs()
+        system = build_system(programs, config)
+        result = system.run(max_steps=max_steps)
+        latencies = [
+            system.hierarchy.read_word(self.layout.result_addr(index))
+            for index in range(self.options.num_indices)
+        ]
+        return AttackOutcome(
+            attack_name=self.name,
+            challenges=self.options.challenges,
+            defense_label=config.prefetcher.label,
+            secret=self.options.secret,
+            latencies=latencies,
+            threshold=self.hit_threshold,
+            candidate_is_slow=self.candidate_is_slow,
+            run_result=result,
+        )

@@ -1,0 +1,45 @@
+"""Evict+Reload (Gruss et al. 2015 — paper ref. [14]).
+
+Like Flush+Reload but without ``clflush``: phase 0 warms every probe line
+(so all of them live in L2), phase 1 evicts them from L1 by loading two
+set-congruent ways per monitored set, phase 2 the victim's access pulls the
+secret line back into L1, and phase 3 distinguishes the L1 hit (secret)
+from L2 hits (everything else).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import CacheAttack
+from repro.attacks.snippets import (
+    emit_evict_loop,
+    emit_probe_loop,
+    emit_victim_direct,
+    emit_warm_loop,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+
+class EvictReloadAttack(CacheAttack):
+    """Evict+Reload: L1 hit (< threshold) marks the candidate."""
+
+    name = "Evict+Reload"
+    hit_threshold = 10  # between the L1 hit (~5) and the L2 hit (~17)
+    candidate_is_slow = False
+
+    def build_programs(self) -> list[Program]:
+        layout, options = self.layout, self.options
+        builder = ProgramBuilder("evict_reload")
+        builder.fill(
+            layout.results_base,
+            count=options.num_indices,
+            value=0,
+            stride=layout.results_stride,
+        )
+        builder.data(layout.secret_addr, [options.secret])
+        emit_warm_loop(builder, layout, options)
+        emit_evict_loop(builder, layout, options)
+        emit_victim_direct(builder, layout, options)
+        emit_probe_loop(builder, layout, options)
+        builder.halt()
+        return [builder.build()]

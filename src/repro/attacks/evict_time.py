@@ -1,0 +1,96 @@
+"""Evict+Time (Osvik et al. 2006) — a deliberately *out-of-scope* attack.
+
+The paper's Table II marks Evict+Time (a timing-based attack, types 1 and 3
+of [20]) as **not** defended by PREFENDER: the attacker never probes
+individual lines — it only measures the *victim's total execution time*
+after evicting one cache set, so prefetched decoy lines in other sets do
+not confuse the measurement.
+
+We implement it to reproduce that honest negative result: the attacker
+evicts one monitored set per round, runs the victim, and times it; the
+round where the victim slows down reveals which set the secret access maps
+to.  PREFENDER's ST may blur the adjacent sets slightly, but the timing
+channel itself survives — matching the ``×`` in Table II.
+
+The victim's total time is measured architecturally (rdcycle before and
+after the victim block), so the channel needs no per-line probing at all.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import CacheAttack
+from repro.attacks.snippets import emit_victim_direct
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+
+class EvictTimeAttack(CacheAttack):
+    """Evict+Time: the slow round (>= threshold) marks the candidate set."""
+
+    name = "Evict+Time"
+    # The victim pays one extra L1 miss (L2 hit, +12) in the evicted round;
+    # threshold sits between "no extra miss" and "one extra miss".
+    candidate_is_slow = True
+    DEFAULT_OPTIONS = {"secret": 37, "num_indices": 48}
+
+    @property
+    def hit_threshold(self) -> int:  # type: ignore[override]
+        return self._baseline_time + 6
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._baseline_time = 0
+
+    def build_programs(self) -> list[Program]:
+        layout, options = self.layout, self.options
+        builder = ProgramBuilder("evict_time")
+        builder.fill(
+            layout.results_base,
+            count=options.num_indices,
+            value=0,
+            stride=layout.results_stride,
+        )
+        builder.data(layout.secret_addr, [options.secret])
+
+        # Warm everything once so later rounds measure steady state.
+        emit_victim_direct(builder, layout, options)
+
+        # For each monitored set s: evict it (two conflicting ways), run the
+        # victim, store its measured duration.
+        loop = builder.fresh_label("round")
+        builder.li("r2", 0)
+        builder.li("r3", options.num_indices)
+        builder.label(loop)
+        builder.li("r1", layout.probe_base)
+        builder.mul("r4", "r2", options.scale)
+        builder.add("r5", "r1", "r4")
+        builder.load("r6", layout.evict_offset_1, "r5")
+        builder.load("r6", layout.evict_offset_2, "r5")
+        # Time the victim's secret-dependent access (same code every round).
+        builder.fence()
+        builder.rdcycle("r7")
+        builder.li("r11", layout.secret_addr)
+        builder.load("r10", 0, "r11")
+        builder.mul("r4", "r10", options.scale)
+        builder.li("r1", layout.probe_base)
+        builder.add("r5", "r1", "r4")
+        builder.load("r6", 0, "r5")
+        builder.rdcycle("r8")
+        builder.sub("r9", "r8", "r7")
+        builder.li("r19", layout.results_base)
+        builder.mul("r4", "r2", layout.results_stride)
+        builder.add("r4", "r19", "r4")
+        builder.store("r9", 0, "r4")
+        builder.add("r2", "r2", 1)
+        builder.blt("r2", "r3", loop)
+        builder.halt()
+        return [builder.build()]
+
+    def run(self, system_config=None, max_steps=20_000_000):
+        outcome = super().run(system_config, max_steps)
+        # Threshold is relative to the un-evicted victim time: take the
+        # modal (fast) duration as the baseline.
+        fast = sorted(lat for lat in outcome.latencies if lat > 0)
+        self._baseline_time = fast[len(fast) // 2] if fast else 0
+        outcome.threshold = self._baseline_time + 6
+        return outcome

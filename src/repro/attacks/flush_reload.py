@@ -1,0 +1,95 @@
+"""Flush+Reload (Yarom & Falkner 2014 — paper ref. [2]).
+
+Phase 1 flushes every eviction cacheline with ``clflush``; phase 2 the
+victim performs one secret-dependent access (directly, or via a genuine
+Spectre-v1 transient in ``victim_mode="spectre"``); phase 3 the attacker
+reloads every line and times it — the single fast line reveals the secret.
+
+The cross-core variant (paper Fig. 4) runs the victim on a second core:
+the attacker then distinguishes the shared-LLC hit (the line the victim
+pulled into L2) from memory misses.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import CacheAttack
+from repro.attacks.snippets import (
+    emit_flush_loop,
+    emit_probe_loop,
+    emit_signal,
+    emit_spin_wait,
+    emit_victim_direct,
+    emit_victim_spectre,
+)
+from repro.errors import ConfigError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+
+class FlushReloadAttack(CacheAttack):
+    """Flush+Reload: fast reload (< threshold) marks the candidate."""
+
+    name = "Flush+Reload"
+    hit_threshold = 65  # L1/L2 hits sit well below, memory well above
+    candidate_is_slow = False
+
+    def _common_data(self, builder: ProgramBuilder) -> None:
+        layout, options = self.layout, self.options
+        builder.fill(
+            layout.results_base,
+            count=options.num_indices,
+            value=0,
+            stride=layout.results_stride,
+        )
+        if options.victim_mode == "spectre":
+            builder.data(layout.array1_base, list(range(8)))
+            builder.data(layout.array1_size_addr, [8])
+            builder.data(layout.spectre_secret_addr, [options.secret])
+            sequence = [t % 8 for t in range(options.train_rounds)]
+            sequence.append(layout.oob_index)
+            builder.data(layout.idx_seq_base, sequence)
+        else:
+            builder.data(layout.secret_addr, [options.secret])
+
+    def build_programs(self) -> list[Program]:
+        if self.options.cross_core:
+            return self._build_cross_core()
+        return [self._build_single_core()]
+
+    def _build_single_core(self) -> Program:
+        layout, options = self.layout, self.options
+        builder = ProgramBuilder("flush_reload")
+        self._common_data(builder)
+        if options.victim_mode == "spectre":
+            # The spectre victim flushes the eviction set inside its
+            # training loop (real PoC structure), so no separate phase 1.
+            emit_victim_spectre(builder, layout, options)
+        else:
+            emit_flush_loop(builder, layout, options)
+            emit_victim_direct(builder, layout, options)
+        emit_probe_loop(builder, layout, options)
+        builder.halt()
+        return builder.build()
+
+    def _build_cross_core(self) -> list[Program]:
+        layout, options = self.layout, self.options
+        if options.victim_mode == "spectre":
+            raise ConfigError(
+                "cross-core Flush+Reload uses the direct victim; run the "
+                "spectre variant single-core"
+            )
+        attacker = ProgramBuilder("flush_reload_attacker")
+        self._common_data(attacker)
+        attacker.data(layout.flag_base, [0, 0], stride=64)
+        emit_flush_loop(attacker, layout, options)
+        emit_signal(attacker, layout.flag_attacker_ready)
+        emit_spin_wait(attacker, layout.flag_victim_done)
+        emit_probe_loop(attacker, layout, options)
+        attacker.halt()
+
+        victim = ProgramBuilder("flush_reload_victim")
+        emit_spin_wait(victim, layout.flag_attacker_ready)
+        emit_victim_direct(victim, layout, options)
+        emit_signal(victim, layout.flag_victim_done)
+        victim.halt()
+        return [attacker.build(), victim.build()]

@@ -1,0 +1,265 @@
+"""Reusable program fragments for the attack builders.
+
+Register conventions (shared by all attacks)::
+
+    r1   probe-array base (li, so its fva stays valid)
+    r2   loop counter            r3   loop bound
+    r4   scratch address math    r5   probe effective address
+    r6   load sink               r7/r8/r9  t0/t1/latency
+    r10  victim index / secret   r11..r16  victim-block scratch
+    r17  probe index (register-resident pseudo-random sequence)
+    r19  results base            r20  noise base
+    r21/r22  C4 alternation      r23  flags base
+    r24  delay counter           r25  second-way base (evict/prime)
+    r26  second-way address      r28/r29  training counter/bound
+
+The probe index lives entirely in registers (an additive-stride sequence),
+exactly like real attack code that randomises probe order with register
+arithmetic: under Table III its ``fva`` stays valid, so the *attacker's*
+loads never trigger the Scale Tracker — only the victim's secret-dependent
+load (whose index comes from memory) does.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.layout import AttackLayout, AttackOptions
+from repro.isa.builder import ProgramBuilder
+
+
+def emit_delay(builder: ProgramBuilder, cycles: int) -> None:
+    """Busy-wait roughly ``cycles`` cycles using an ALU-only loop."""
+    iterations = max(1, cycles // 2)
+    label = builder.fresh_label("delay")
+    builder.li("r24", iterations)
+    builder.label(label)
+    builder.sub("r24", "r24", 1)
+    builder.bne("r24", "zero", label)
+
+
+def emit_flush_loop(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    """Phase 1 of Flush+Reload: clflush every eviction cacheline."""
+    label = builder.fresh_label("flush")
+    builder.li("r1", layout.probe_base)
+    builder.li("r2", 0)
+    builder.li("r3", options.num_indices)
+    builder.label(label)
+    builder.mul("r4", "r2", options.scale)
+    builder.add("r5", "r1", "r4")
+    builder.clflush(0, "r5")
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", label)
+
+
+def emit_warm_loop(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    """Touch every probe line once (fills L2; Evict+Reload phase 0)."""
+    label = builder.fresh_label("warm")
+    builder.li("r1", layout.probe_base)
+    builder.li("r2", 0)
+    builder.li("r3", options.num_indices)
+    builder.label(label)
+    builder.mul("r4", "r2", options.scale)
+    builder.add("r5", "r1", "r4")
+    builder.load("r6", 0, "r5")
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", label)
+
+
+def emit_evict_loop(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    """Evict+Reload phase 1: load two set-congruent ways per probe index."""
+    label = builder.fresh_label("evict")
+    builder.li("r1", layout.probe_base)
+    builder.li("r2", 0)
+    builder.li("r3", options.num_indices)
+    builder.label(label)
+    builder.mul("r4", "r2", options.scale)
+    builder.add("r5", "r1", "r4")
+    builder.load("r6", layout.evict_offset_1, "r5")
+    builder.load("r6", layout.evict_offset_2, "r5")
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", label)
+
+
+def emit_prime_loop(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    """Prime+Probe phase 1: fill both L1 ways of every monitored set."""
+    label = builder.fresh_label("prime")
+    builder.li("r1", layout.probe_base)
+    builder.li("r2", 0)
+    builder.li("r3", options.num_indices)
+    builder.label(label)
+    builder.mul("r4", "r2", options.scale)
+    builder.add("r5", "r1", "r4")
+    builder.load("r6", layout.evict_offset_1, "r5")
+    builder.load("r6", layout.evict_offset_2, "r5")
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", label)
+
+
+def emit_noise_block(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    """C3 noise: ``noise_loads`` benign loads with distinct PCs.
+
+    Each load touches a fixed line on a set ≡ 4 (mod 8) — never a probe
+    set — so the noise thrashes the Access Tracker's buffers without
+    disturbing the attack's cache footprint.
+    """
+    builder.li("r20", layout.noise_base)
+    for k in range(options.noise_loads):
+        builder.load("r22", k * 0x200, "r20")
+
+
+def emit_victim_direct(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    """Phase 2 victim: load the secret from memory, access its line.
+
+    The secret arrives from memory, so its register is ``NA`` under Table
+    III and the multiply by ``scale`` gives the access the scale the Scale
+    Tracker needs (paper Fig. 5).
+    """
+    builder.li("r1", layout.probe_base)
+    builder.li("r11", layout.secret_addr)
+    builder.load("r10", 0, "r11")
+    builder.mul("r4", "r10", options.scale)
+    builder.add("r5", "r1", "r4")
+    builder.load("r6", 0, "r5")
+
+
+def emit_victim_spectre(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    """Training loop + one out-of-bounds call: genuine Spectre v1.
+
+    ``idx_seq`` holds ``train_rounds`` in-bounds indices followed by the
+    out-of-bounds index; the bounds check is trained taken and mispredicts
+    on the final iteration, transiently reading ``array1[oob]`` (the secret)
+    and touching ``probe_base + secret*scale``.
+    """
+    loop = builder.fresh_label("train")
+    in_bounds = builder.fresh_label("inb")
+    out = builder.fresh_label("vend")
+    builder.li("r27", layout.array1_base)
+    builder.li("r28", 0)
+    builder.li("r29", options.train_rounds + 1)
+    builder.label(loop)
+    # Real PoCs flush the eviction set every round; this also clears the
+    # cache pollution left by the in-bounds training accesses.
+    emit_flush_loop(builder, layout, options)
+    builder.li("r1", layout.probe_base)
+    # idx = idx_seq[t]  (from memory: NA under Table III)
+    builder.li("r4", layout.idx_seq_base)
+    builder.mul("r12", "r28", 8)
+    builder.add("r4", "r4", "r12")
+    builder.load("r10", 0, "r4")
+    # bounds check (the Spectre gadget)
+    builder.li("r13", layout.array1_size_addr)
+    builder.load("r11", 0, "r13")
+    builder.blt("r10", "r11", in_bounds)
+    builder.jmp(out)
+    builder.label(in_bounds)
+    builder.mul("r12", "r10", 8)
+    builder.add("r12", "r27", "r12")
+    builder.load("r13", 0, "r12")  # array1[idx] — the secret when OOB
+    builder.mul("r14", "r13", options.scale)
+    builder.add("r15", "r1", "r14")
+    builder.load("r16", 0, "r15")  # secret-dependent access
+    builder.label(out)
+    builder.add("r28", "r28", 1)
+    builder.blt("r28", "r29", loop)
+
+
+def emit_probe_loop(
+    builder: ProgramBuilder,
+    layout: AttackLayout,
+    options: AttackOptions,
+    base_offset: int = 0,
+    second_way_offset: int | None = None,
+    start_index: int = 0,
+) -> None:
+    """Phase 3: measure every probe index in pseudo-random order.
+
+    The measured latency is stored to ``results_base + idx*8``.  The probed
+    address is ``probe_base + base_offset + idx*scale`` (Prime+Probe probes
+    the attacker's own set-congruent array via ``base_offset``).  With
+    ``second_way_offset`` set the measurement covers two set-congruent
+    loads.  ``noise_c4`` interleaves a non-eviction access (+0x80) through
+    the *same* probe load PC on odd iterations; the probe index then
+    advances only after the odd (noise) sub-iteration, so every eviction
+    line is still measured exactly once.
+    """
+    loop = builder.fresh_label("probe")
+    iterations = options.num_indices * (2 if options.noise_c4 else 1)
+    step = 1 if options.sequential_probe else options.probe_step
+    builder.li("r1", layout.probe_base)
+    builder.li("r19", layout.results_base)
+    builder.li("r2", 0)
+    builder.li("r3", iterations)
+    builder.li("r17", start_index)  # current probe index (register-resident)
+    builder.li("r15", options.num_indices)
+    builder.label(loop)
+    builder.mul("r4", "r17", options.scale)
+    builder.add("r5", "r1", "r4")
+    if options.noise_c4:
+        # Odd iterations re-aim the same probe load at a non-eviction line.
+        builder.and_("r21", "r2", 1)
+        builder.mul("r21", "r21", 0x80)
+        builder.add("r5", "r5", "r21")
+    builder.fence()  # real attacks serialise (lfence) before timing
+    builder.rdcycle("r7")
+    builder.load("r6", base_offset, "r5")  # the probe load (single PC)
+    if second_way_offset is not None:
+        builder.load("r6", second_way_offset, "r5")
+    builder.rdcycle("r8")
+    builder.sub("r9", "r8", "r7")
+    skip_store = builder.fresh_label("skipst")
+    if options.noise_c4:
+        builder.bne("r21", "zero", skip_store)
+    builder.mul("r4", "r17", layout.results_stride)
+    builder.add("r4", "r19", "r4")
+    builder.store("r9", 0, "r4")
+    if options.noise_c4:
+        builder.label(skip_store)
+    if options.noise_c3:
+        emit_noise_block(builder, layout, options)
+    if options.probe_gap_cycles:
+        emit_delay(builder, options.probe_gap_cycles)
+    no_step = builder.fresh_label("nostep")
+    if options.noise_c4:
+        # Advance the index only after the odd (noise) sub-iteration.
+        builder.beq("r21", "zero", no_step)
+    builder.add("r17", "r17", step)
+    wrap_check = builder.fresh_label("wrapchk")
+    wrap_done = builder.fresh_label("wrapdone")
+    builder.label(wrap_check)
+    builder.blt("r17", "r15", wrap_done)
+    builder.sub("r17", "r17", "r15")
+    builder.jmp(wrap_check)
+    builder.label(wrap_done)
+    if options.noise_c4:
+        builder.label(no_step)
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", loop)
+
+
+def emit_spin_wait(builder: ProgramBuilder, flag_addr: int) -> None:
+    """Spin until the 64-bit flag at ``flag_addr`` becomes non-zero."""
+    label = builder.fresh_label("spin")
+    builder.li("r23", flag_addr)
+    builder.label(label)
+    builder.load("r22", 0, "r23")
+    builder.beq("r22", "zero", label)
+
+
+def emit_signal(builder: ProgramBuilder, flag_addr: int) -> None:
+    """Set the 64-bit flag at ``flag_addr`` to 1."""
+    builder.li("r23", flag_addr)
+    builder.li("r22", 1)
+    builder.store("r22", 0, "r23")

@@ -1,0 +1,35 @@
+"""PREFENDER: the paper's contribution.
+
+* :class:`CalculationBuffer` — per-register ``(fva, sc)`` dataflow tracking
+  (paper Table III), maintained by the core at execute stage.
+* :class:`ScaleTracker` — phase-2 defense: prefetch ``addr ± sc`` around a
+  victim load (paper Sec. IV-B).
+* :class:`AccessTracker` — phase-3 defense: per-PC access buffers with
+  DiffMin stride estimation (paper Sec. IV-C).
+* :class:`RecordProtector` — scale buffer linking ST and AT; protects access
+  buffers from noisy replacement (C3) and redirects prefetching to trusted
+  scales (C4) (paper Sec. IV-D).
+* :class:`Prefender` — the assembled secure prefetcher.
+"""
+
+from repro.core.calc import CalculationBuffer, RegisterTrack
+from repro.core.config import PrefenderConfig
+from repro.core.scale_tracker import ScaleTracker
+from repro.core.access_buffer import AccessBuffer
+from repro.core.access_tracker import AccessTracker
+from repro.core.scale_buffer import ScaleBuffer, ScaleRecord
+from repro.core.record_protector import RecordProtector
+from repro.core.prefender import Prefender
+
+__all__ = [
+    "CalculationBuffer",
+    "RegisterTrack",
+    "PrefenderConfig",
+    "ScaleTracker",
+    "AccessBuffer",
+    "AccessTracker",
+    "ScaleBuffer",
+    "ScaleRecord",
+    "RecordProtector",
+    "Prefender",
+]

@@ -1,0 +1,146 @@
+"""Access Tracker (paper Sec. IV-C).
+
+Four stages on every load (paper Fig. 6):
+
+1. **Buffer Allocation** — find the buffer associated with the load's PC;
+   otherwise allocate an empty buffer; otherwise replace the LRU buffer
+   (only among *unprotected* buffers once the Record Protector is active).
+2. **Entry Updating** — record the accessed block address (entry-level LRU).
+3. **DiffMin Updating** — once the buffer holds at least ``threshold`` valid
+   entries, recompute the minimum pairwise block-address difference.
+4. **Data Prefetching** — propose ``blk ± DiffMin`` (or ``blk ± sc`` when the
+   Record Protector supplies a trusted scale), skipping candidates already in
+   the buffer or in L1D; at most ``max_prefetches`` per activation.
+"""
+
+from __future__ import annotations
+
+from repro.core.access_buffer import AccessBuffer
+from repro.prefetch.base import ContainsProbe, Observation, PrefetchRequest
+from repro.utils.addr import AddressMap
+from repro.utils.lru import LRUTracker
+
+
+class AccessTracker:
+    """Phase-3 defense: learn and outrun the attacker's probe pattern."""
+
+    component = "at"
+    guided_component = "rp"
+
+    def __init__(
+        self,
+        amap: AddressMap,
+        num_buffers: int = 32,
+        entries_per_buffer: int = 8,
+        threshold: int = 4,
+        max_prefetches: int = 1,
+    ) -> None:
+        self.amap = amap
+        self.threshold = threshold
+        self.max_prefetches = max_prefetches
+        self.buffers = [AccessBuffer(entries_per_buffer) for _ in range(num_buffers)]
+        self._lru = LRUTracker()
+        self.proposals = 0
+        self.guided_proposals = 0
+        self.allocation_failures = 0
+
+    def reset(self) -> None:
+        for buffer in self.buffers:
+            buffer.reset()
+        self._lru = LRUTracker()
+        self.proposals = 0
+        self.guided_proposals = 0
+        self.allocation_failures = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def buffer_for_pc(self, pc: int) -> AccessBuffer | None:
+        for buffer in self.buffers:
+            if buffer.valid and buffer.inst_addr == pc:
+                return buffer
+        return None
+
+    def protected_count(self) -> int:
+        """Number of currently protected buffers (Fig. 12 series)."""
+        return sum(1 for buffer in self.buffers if buffer.protected)
+
+    # -- stage 1: allocation ------------------------------------------------------
+
+    def allocate(self, pc: int) -> AccessBuffer | None:
+        """Find or allocate the buffer associated with ``pc``."""
+        buffer = self.buffer_for_pc(pc)
+        if buffer is None:
+            buffer = self._allocate_new(pc)
+            if buffer is None:
+                self.allocation_failures += 1
+                return None
+        self._lru.touch(id(buffer))
+        return buffer
+
+    def _allocate_new(self, pc: int) -> AccessBuffer | None:
+        for buffer in self.buffers:
+            if not buffer.valid:
+                buffer.reset(pc)
+                return buffer
+        candidates = [id(b) for b in self.buffers if not b.protected]
+        if not candidates:
+            # Every buffer is protected: no replacement is allowed (C3).
+            return None
+        victim_id = self._lru.victim(candidates)
+        for buffer in self.buffers:
+            if id(buffer) == victim_id:
+                buffer.reset(pc)
+                return buffer
+        raise AssertionError("LRU victim vanished")  # pragma: no cover
+
+    # -- stages 2-4: record + prefetch ---------------------------------------------
+
+    def observe_load(
+        self,
+        observation: Observation,
+        l1d_contains: ContainsProbe,
+        guided_scale: int | None = None,
+    ) -> list[PrefetchRequest]:
+        """Run the four AT stages for one load; returns prefetch requests.
+
+        Args:
+            observation: the demand access.
+            l1d_contains: L1D residency probe.
+            guided_scale: trusted scale from the Record Protector; when given
+                it overrides DiffMin and the request is attributed to ``rp``.
+        """
+        buffer = self.allocate(observation.pc)
+        if buffer is None:
+            return []
+        block_addr = observation.block_addr
+        buffer.record(block_addr, observation.now)
+        if buffer.valid_entries >= self.threshold:
+            buffer.update_diff_min()
+        step: int | None
+        component = self.component
+        if guided_scale is not None:
+            step = guided_scale
+            component = self.guided_component
+        else:
+            if buffer.valid_entries < self.threshold:
+                return []
+            step = buffer.diff_min
+        if not step:
+            return []
+        requests: list[PrefetchRequest] = []
+        for candidate in (block_addr + step, block_addr - step):
+            if len(requests) >= self.max_prefetches:
+                break
+            if candidate < 0:
+                continue
+            if buffer.contains(self.amap.block_addr(candidate)):
+                continue
+            if l1d_contains(candidate):
+                continue
+            requests.append(PrefetchRequest(addr=candidate, component=component))
+        if component == self.guided_component:
+            self.guided_proposals += len(requests)
+            buffer.guided_prefetches += len(requests)
+        else:
+            self.proposals += len(requests)
+        return requests

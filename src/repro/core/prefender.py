@@ -1,0 +1,117 @@
+"""The assembled PREFENDER secure prefetcher (paper Fig. 2).
+
+PREFENDER sits on an L1D cache and reacts to every demand load:
+
+* the Scale Tracker proposes phase-2 prefetches from the load's
+  calculation-buffer scale,
+* the Record Protector records trusted scales and computes protection /
+  guidance for the Access Tracker,
+* the Access Tracker proposes phase-3 prefetches from per-PC access
+  history (DiffMin) or from the trusted scale when protected.
+
+Component attribution follows the paper's Figs. 9/11: requests carry
+``"st"``, ``"at"`` or ``"rp"`` (the latter meaning "Access Tracker guided by
+the Record Protector").
+"""
+
+from __future__ import annotations
+
+from repro.core.access_tracker import AccessTracker
+from repro.core.config import PrefenderConfig
+from repro.core.record_protector import RecordProtector
+from repro.core.scale_tracker import ScaleTracker
+from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
+from repro.utils.addr import AddressMap
+
+
+class Prefender(Prefetcher):
+    """Secure prefetcher: ST + AT + RP behind one observe() entry point."""
+
+    def __init__(
+        self,
+        config: PrefenderConfig | None = None,
+        amap: AddressMap | None = None,
+    ) -> None:
+        self.config = config or PrefenderConfig()
+        self.amap = amap or AddressMap()
+        self.name = self.config.variant_name.lower()
+        self.scale_tracker = (
+            ScaleTracker(self.amap, max_prefetches=self.config.st_max_prefetches)
+            if self.config.st_enabled
+            else None
+        )
+        self.access_tracker = (
+            AccessTracker(
+                self.amap,
+                num_buffers=self.config.num_access_buffers,
+                entries_per_buffer=self.config.entries_per_buffer,
+                threshold=self.config.at_threshold,
+                max_prefetches=self.config.at_max_prefetches,
+            )
+            if self.config.at_enabled
+            else None
+        )
+        self.record_protector = (
+            RecordProtector(
+                scale_buffer_entries=self.config.scale_buffer_entries,
+                unprotect_prefetch_limit=self.config.unprotect_prefetch_limit,
+                unprotect_idle_cycles=self.config.unprotect_idle_cycles,
+            )
+            if self.config.rp_enabled
+            else None
+        )
+        # A tracking-only ScaleTracker is needed for RP's trigger condition
+        # even when ST prefetching is disabled (Prefender-AT+RP in Fig. 8).
+        self._range_probe = ScaleTracker(self.amap)
+
+    def reset(self) -> None:
+        if self.scale_tracker is not None:
+            self.scale_tracker.reset()
+        if self.access_tracker is not None:
+            self.access_tracker.reset()
+        if self.record_protector is not None:
+            self.record_protector.reset()
+
+    # -- queries ------------------------------------------------------------------
+
+    def protected_buffer_count(self) -> int:
+        """Currently protected access buffers (Fig. 12)."""
+        if self.access_tracker is None:
+            return 0
+        return self.access_tracker.protected_count()
+
+    # -- the prefetcher interface ----------------------------------------------------
+
+    def observe(
+        self, observation: Observation, l1d_contains: ContainsProbe
+    ) -> list[PrefetchRequest]:
+        if observation.op != "load":
+            return []
+        requests: list[PrefetchRequest] = []
+
+        scale_in_range = self._range_probe.scale_in_range(observation.scale)
+        if scale_in_range and self.record_protector is not None:
+            self.record_protector.record_scale(
+                observation.scale, observation.block_addr
+            )
+        if self.scale_tracker is not None:
+            requests.extend(
+                self.scale_tracker.observe_load(observation, l1d_contains)
+            )
+
+        if self.access_tracker is not None:
+            guided_scale = None
+            if self.record_protector is not None:
+                guided_scale = self.record_protector.guidance_for(
+                    observation, self.access_tracker
+                )
+            requests.extend(
+                self.access_tracker.observe_load(
+                    observation, l1d_contains, guided_scale=guided_scale
+                )
+            )
+            if self.record_protector is not None and guided_scale is not None:
+                self.record_protector.protect_after_allocation(
+                    observation, self.access_tracker
+                )
+        return requests

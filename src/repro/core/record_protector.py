@@ -1,0 +1,105 @@
+"""Record Protector (paper Sec. IV-D).
+
+Links the Scale Tracker and the Access Tracker:
+
+1. **Scale Recording** — whenever a load's base-register scale is in ST's
+   trigger range, the ``(sc, blk)`` pair is recorded in the scale buffer
+   (this is the victim's trusted phase-2 pattern).
+2. **Protection Status Updating** — when any load's block address *hits* a
+   recorded pattern, the access buffer associated with that load is marked
+   protected (immune to LRU replacement — challenge C3) and the hit
+   ``(sc, blk)`` is latched into the buffer's protected-scale registers.
+3. **Protected Prefetching** — while a buffer is protected, AT's prefetch
+   step uses the hit scale rather than DiffMin (challenge C4).  Protection
+   expires after a bounded number of guided prefetches or after the buffer
+   stays untouched for a time threshold.
+"""
+
+from __future__ import annotations
+
+from repro.core.access_buffer import AccessBuffer
+from repro.core.access_tracker import AccessTracker
+from repro.core.scale_buffer import ScaleBuffer
+from repro.prefetch.base import Observation
+
+
+class RecordProtector:
+    """Noise shield for the Access Tracker."""
+
+    def __init__(
+        self,
+        scale_buffer_entries: int = 8,
+        unprotect_prefetch_limit: int = 64,
+        unprotect_idle_cycles: int = 200_000,
+    ) -> None:
+        self.scale_buffer = ScaleBuffer(scale_buffer_entries)
+        self.unprotect_prefetch_limit = unprotect_prefetch_limit
+        self.unprotect_idle_cycles = unprotect_idle_cycles
+        self.protections = 0
+        self.unprotections = 0
+
+    def reset(self) -> None:
+        self.scale_buffer.reset()
+        self.protections = 0
+        self.unprotections = 0
+
+    # -- stage 1 ---------------------------------------------------------------
+
+    def record_scale(self, scale: int, block_addr: int) -> None:
+        """Record a trusted (scale, block) pattern from a victim load."""
+        self.scale_buffer.record(scale, block_addr)
+
+    # -- stages 2 & 3 ------------------------------------------------------------
+
+    def expire_stale_protection(self, buffer: AccessBuffer, now: int) -> None:
+        """Drop protection on exhausted or idle buffers."""
+        if not buffer.protected:
+            return
+        if (
+            buffer.guided_prefetches >= self.unprotect_prefetch_limit
+            or now - buffer.last_touch > self.unprotect_idle_cycles
+        ):
+            buffer.unprotect()
+            self.unprotections += 1
+
+    def guidance_for(
+        self, observation: Observation, tracker: AccessTracker
+    ) -> int | None:
+        """Protection update + guided-scale lookup for one load.
+
+        Returns the trusted scale AT should prefetch with, or ``None`` when
+        the access matches no recorded pattern (AT then uses DiffMin).
+        """
+        block_addr = observation.block_addr
+        buffer = tracker.buffer_for_pc(observation.pc)
+        if buffer is not None:
+            self.expire_stale_protection(buffer, observation.now)
+
+        record = self.scale_buffer.match(block_addr)
+        if record is not None:
+            if buffer is None:
+                # The buffer will be allocated by AT stage 1 in this same
+                # access; protect it then via `protect_after_allocation`.
+                return record.sc
+            if not buffer.protected:
+                self.protections += 1
+            buffer.protect(record.sc, record.blk)
+            return record.sc
+
+        # No scale-buffer hit: fall back to the buffer's latched protected
+        # scale (the scale-buffer entry may have been replaced — Fig. 7(b)).
+        if buffer is not None:
+            return buffer.protected_scale_matches(block_addr)
+        return None
+
+    def protect_after_allocation(
+        self, observation: Observation, tracker: AccessTracker
+    ) -> None:
+        """Latch protection onto a buffer allocated during this access."""
+        record = self.scale_buffer.match(observation.block_addr)
+        if record is None:
+            return
+        buffer = tracker.buffer_for_pc(observation.pc)
+        if buffer is not None and not buffer.protected:
+            buffer.protect(record.sc, record.blk)
+            self.protections += 1

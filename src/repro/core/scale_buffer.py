@@ -1,0 +1,84 @@
+"""Scale buffer (paper Sec. IV-D, stage 1 "Scale Recording").
+
+Each entry is a ``(sc, blk)`` pair describing a predicted eviction-cacheline
+pattern ``{blk + k*sc}``.  Recording applies the paper's redundancy rule:
+when a new pattern and an existing entry describe overlapping arithmetic
+sequences (``(blk' - blk_i) % min(sc', sc_i) == 0``), only the pattern with
+the *larger* scale is kept (the larger scale's set is the subset, hence the
+more precise prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.lru import LRUTracker
+
+
+@dataclass
+class ScaleRecord:
+    """One scale buffer entry."""
+
+    sc: int
+    blk: int
+
+
+class ScaleBuffer:
+    """Small associative buffer of trusted ``(sc, blk)`` patterns."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        self.capacity = capacity
+        self._records: list[ScaleRecord] = []
+        self._lru = LRUTracker()
+        self.records_made = 0
+        self.subsumed = 0
+        self.updated = 0
+
+    def reset(self) -> None:
+        self._records.clear()
+        self._lru = LRUTracker()
+        self.records_made = 0
+        self.subsumed = 0
+        self.updated = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def entries(self) -> list[ScaleRecord]:
+        return list(self._records)
+
+    def record(self, sc: int, blk: int) -> None:
+        """Stage 1: record a (sc, blk) pattern with redundancy reduction."""
+        if sc <= 0:
+            return
+        for record in self._records:
+            overlap = (blk - record.blk) % min(sc, record.sc) == 0
+            if not overlap:
+                continue
+            if sc > record.sc:
+                # The new, sparser pattern subsumes the old one: replace.
+                record.sc = sc
+                record.blk = blk
+                self.updated += 1
+            else:
+                self.subsumed += 1
+            self._lru.touch(id(record))
+            return
+        if len(self._records) < self.capacity:
+            record = ScaleRecord(sc=sc, blk=blk)
+            self._records.append(record)
+        else:
+            victim_id = self._lru.victim([id(r) for r in self._records])
+            record = next(r for r in self._records if id(r) == victim_id)
+            record.sc = sc
+            record.blk = blk
+        self._lru.touch(id(record))
+        self.records_made += 1
+
+    def match(self, block_addr: int) -> ScaleRecord | None:
+        """Stage 2 hit check: does ``block_addr`` fit a recorded pattern?"""
+        for record in self._records:
+            if (block_addr - record.blk) % record.sc == 0:
+                self._lru.touch(id(record))
+                return record
+        return None

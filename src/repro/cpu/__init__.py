@@ -1,0 +1,6 @@
+"""Timing CPU model: cores (optionally speculative) and the system."""
+
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.system import RunResult, System
+
+__all__ = ["Core", "CoreConfig", "System", "RunResult"]

@@ -1,0 +1,361 @@
+"""An in-order timing core with optional speculative execution.
+
+Every instruction executes functionally and advances the core's local clock
+by its cost; loads/stores pay the memory hierarchy's latency.  The core
+maintains the PREFENDER calculation buffer (paper Table III) at execute
+stage and threads each load's base-register *scale* into the hierarchy so
+the Scale Tracker can see it.
+
+Speculative execution (``CoreConfig.speculative_execution``) models the
+Spectre-v1 substrate: conditional branches are predicted by a 2-bit counter
+table and resolve ``resolve_delay`` cycles after issue.  On a misprediction
+the core *follows the predicted (wrong) path*: transient loads access the
+cache hierarchy for real (this is the leak), transient stores are buffered
+and dropped, and at resolve time the architectural state rolls back while
+cache state — and the calculation buffer, which is microarchitectural —
+persists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.calc import CalculationBuffer
+from repro.errors import ExecutionError
+from repro.isa.instructions import ALU_OPS
+from repro.isa.program import INSTRUCTION_SIZE, Program
+from repro.isa.registers import RegisterFile
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Per-core timing and speculation parameters."""
+
+    base_cost: int = 1
+    mul_cost: int = 3
+    branch_cost: int = 1
+    # Cycles of load latency an out-of-order window can hide (ROB depth x
+    # issue rate).  0 = fully blocking in-order core.  The exposed stall is
+    # ``max(base_cost, latency - load_hide_cycles)``: L2 hits vanish, DRAM
+    # misses keep a tail — the standard analytical OoO stall model.  Loads
+    # that immediately follow a serialising instruction (rdcycle/fence)
+    # always pay the full latency — a timed load cannot be overlapped,
+    # which is exactly why attackers serialise their measurements.
+    load_hide_cycles: int = 0
+    speculative_execution: bool = False
+    resolve_delay: int = 60
+    branch_miss_penalty: int = 8
+    predictor_entries: int = 512
+    spec_window: int = 48
+
+
+@dataclass
+class CoreStats:
+    """Execution counters for one core."""
+
+    instructions_retired: int = 0
+    transient_executed: int = 0
+    loads: int = 0
+    stores: int = 0
+    flushes: int = 0
+    branches: int = 0
+    mispredictions: int = 0
+    squashes: int = 0
+    load_latency_total: int = 0
+
+
+class Core:
+    """One in-order core bound to a program and a memory hierarchy."""
+
+    def __init__(
+        self,
+        core_id: int,
+        program: Program,
+        hierarchy: MemoryHierarchy,
+        config: CoreConfig | None = None,
+        start_time: int = 0,
+    ) -> None:
+        if not program.finalized:
+            program.finalize()
+        self.core_id = core_id
+        self.program = program
+        self.hierarchy = hierarchy
+        self.config = config or CoreConfig()
+        self.regs = RegisterFile()
+        self.calc = CalculationBuffer(scale_cap=hierarchy.amap.page_size)
+        self.pc_index = 0
+        self.time = start_time
+        self.halted = False
+        self.stats = CoreStats()
+        # Speculation state (one outstanding checkpoint).
+        self._speculating = False
+        self._checkpoint_regs: list[int] | None = None
+        self._correct_index = 0
+        self._resolve_time = 0
+        self._spec_count = 0
+        self._store_buffer: list[tuple[int, int]] = []
+        self._predictor: dict[int, int] = {}
+        self._serialized = False
+
+    # -- helpers -----------------------------------------------------------------
+
+    @property
+    def speculating(self) -> bool:
+        return self._speculating
+
+    def pc_addr(self) -> int:
+        """Current instruction address."""
+        return self.program.code_base + INSTRUCTION_SIZE * self.pc_index
+
+    def _predict_taken(self, index: int) -> bool:
+        counter = self._predictor.get(index % self.config.predictor_entries, 1)
+        return counter >= 2
+
+    def _train_predictor(self, index: int, taken: bool) -> None:
+        key = index % self.config.predictor_entries
+        counter = self._predictor.get(key, 1)
+        counter = min(3, counter + 1) if taken else max(0, counter - 1)
+        self._predictor[key] = counter
+
+    def _squash(self) -> None:
+        """Roll back a mispredicted path; cache/calc effects persist."""
+        assert self._checkpoint_regs is not None
+        self.regs.restore(self._checkpoint_regs)
+        self.pc_index = self._correct_index
+        self.time = max(self.time, self._resolve_time) + self.config.branch_miss_penalty
+        self._speculating = False
+        self._checkpoint_regs = None
+        self._store_buffer.clear()
+        self.stats.squashes += 1
+
+    def _stall_to_resolve(self) -> None:
+        self.time = max(self.time, self._resolve_time)
+
+    # -- main step ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one instruction (or resolve a pending squash)."""
+        if self.halted:
+            return
+        if self._speculating and self.time >= self._resolve_time:
+            self._squash()
+            return
+        if not 0 <= self.pc_index < len(self.program.instructions):
+            if self._speculating:
+                self._stall_to_resolve()
+                return
+            raise ExecutionError(
+                f"core {self.core_id}: pc {self.pc_index} outside program "
+                f"{self.program.name!r}"
+            )
+
+        instruction = self.program.instructions[self.pc_index]
+        op = instruction.op
+
+        if op == "load":
+            self._do_load(instruction)
+        elif op in ALU_OPS:
+            self._do_alu(instruction)
+        elif op == "li":
+            self.regs.write(instruction.rd, instruction.imm)
+            self.calc.load_immediate(instruction.rd, instruction.imm)
+            self._advance(self.config.base_cost)
+        elif op == "mov":
+            self.regs.write(instruction.rd, self.regs.read(instruction.rs0))
+            self.calc.move(instruction.rd, instruction.rs0)
+            self._advance(self.config.base_cost)
+        elif op == "store":
+            self._do_store(instruction)
+        elif op in ("beq", "bne", "blt", "bge"):
+            self._do_branch(instruction)
+        elif op == "jmp":
+            self.pc_index = instruction.target
+            self.time += self.config.branch_cost
+            self._count_retire()
+        elif op == "rdcycle":
+            self.regs.write(instruction.rd, self.time)
+            self.calc.load_from_memory(instruction.rd)  # unknown variable
+            self._serialized = True
+            self._advance(self.config.base_cost)
+        elif op == "clflush":
+            self._do_flush(instruction)
+        elif op == "nop":
+            self._advance(self.config.base_cost)
+        elif op == "fence":
+            self._serialized = True
+            if self._speculating:
+                # Serialising instruction: a transient path cannot proceed
+                # past a fence; wait for the branch to resolve (then squash).
+                self._stall_to_resolve()
+            else:
+                self._advance(self.config.base_cost)
+        elif op == "halt":
+            if self._speculating:
+                # A transient halt stalls until the branch resolves.
+                self._stall_to_resolve()
+            else:
+                self.halted = True
+                self.time += self.config.base_cost
+                self.stats.instructions_retired += 1
+        else:  # pragma: no cover - opcode set is closed
+            raise ExecutionError(f"unhandled opcode {op!r}")
+
+        if self._speculating:
+            self._spec_count += 1
+            if self._spec_count >= self.config.spec_window:
+                self._stall_to_resolve()
+
+    # -- instruction semantics ---------------------------------------------------------
+
+    def _advance(self, cost: int) -> None:
+        self.time += cost
+        self.pc_index += 1
+        self._count_retire()
+
+    def _count_retire(self) -> None:
+        if self._speculating:
+            self.stats.transient_executed += 1
+        else:
+            self.stats.instructions_retired += 1
+
+    def _alu_operand(self, instruction) -> int:
+        if instruction.rs1 is not None:
+            return self.regs.read(instruction.rs1)
+        return instruction.imm & ((1 << 64) - 1)
+
+    def _do_alu(self, instruction) -> None:
+        op = instruction.op
+        a = self.regs.read(instruction.rs0)
+        b = self._alu_operand(instruction)
+        if op == "add":
+            result = a + b
+        elif op == "sub":
+            result = a - b
+        elif op == "mul":
+            result = a * b
+        elif op == "sll":
+            result = a << (b & 0x3F)
+        elif op == "srl":
+            result = a >> (b & 0x3F)
+        elif op == "and":
+            result = a & b
+        elif op == "or":
+            result = a | b
+        else:  # xor
+            result = a ^ b
+        self.regs.write(instruction.rd, result)
+        if instruction.rs1 is not None:
+            self.calc.alu(op, instruction.rd, instruction.rs0, rs1=instruction.rs1)
+        else:
+            self.calc.alu(op, instruction.rd, instruction.rs0, imm=instruction.imm)
+        cost = self.config.mul_cost if op == "mul" else self.config.base_cost
+        self._advance(cost)
+
+    def _do_load(self, instruction) -> None:
+        base = instruction.rs0
+        addr = (self.regs.read(base) + instruction.imm) & ((1 << 64) - 1)
+        # Store-to-load forwarding from the speculative store buffer.
+        forwarded = None
+        if self._speculating:
+            for buffered_addr, buffered_value in reversed(self._store_buffer):
+                if buffered_addr == addr:
+                    forwarded = buffered_value
+                    break
+        if forwarded is not None:
+            self.regs.write(instruction.rd, forwarded)
+            self.calc.load_from_memory(instruction.rd)
+            self._advance(self.config.base_cost)
+            return
+        outcome = self.hierarchy.load(
+            self.core_id,
+            addr,
+            now=self.time,
+            pc=self.pc_addr(),
+            scale=self.calc.scale_of(base),
+            speculative=self._speculating,
+        )
+        self.regs.write(instruction.rd, outcome.value)
+        self.calc.load_from_memory(instruction.rd)
+        self.stats.loads += 1
+        self.stats.load_latency_total += outcome.latency
+        self._advance(self._charged_latency(outcome.latency))
+
+    def _charged_latency(self, latency: int) -> int:
+        """Stall cycles the pipeline pays for a load of ``latency`` cycles.
+
+        An OoO window hides up to ``load_hide_cycles`` of any load's
+        latency; serialised (timed) loads always pay everything.
+        """
+        serialized = self._serialized
+        self._serialized = False
+        hide = self.config.load_hide_cycles
+        if serialized or hide <= 0:
+            return latency
+        return max(self.config.base_cost, latency - hide)
+
+    def _do_store(self, instruction) -> None:
+        addr = (self.regs.read(instruction.rs1) + instruction.imm) & ((1 << 64) - 1)
+        value = self.regs.read(instruction.rs0)
+        if self._speculating:
+            self._store_buffer.append((addr, value))
+            self._advance(self.config.base_cost)
+            return
+        latency = self.hierarchy.store(
+            self.core_id, addr, value, now=self.time, pc=self.pc_addr()
+        )
+        self.stats.stores += 1
+        self._advance(latency)
+
+    def _do_flush(self, instruction) -> None:
+        if self._speculating:
+            # Flushes are ordered like stores: they do not execute transiently.
+            self._advance(self.config.base_cost)
+            return
+        addr = (self.regs.read(instruction.rs0) + instruction.imm) & ((1 << 64) - 1)
+        latency = self.hierarchy.flush(self.core_id, addr, now=self.time)
+        self.stats.flushes += 1
+        self._advance(latency)
+
+    def _do_branch(self, instruction) -> None:
+        op = instruction.op
+        if op in ("beq", "bne"):
+            a = self.regs.read(instruction.rs0)
+            b = self.regs.read(instruction.rs1)
+            taken = (a == b) if op == "beq" else (a != b)
+        else:
+            a = self.regs.read_signed(instruction.rs0)
+            b = self.regs.read_signed(instruction.rs1)
+            taken = (a < b) if op == "blt" else (a >= b)
+        actual_index = instruction.target if taken else self.pc_index + 1
+        self.stats.branches += 1
+
+        if not self.config.speculative_execution or self._speculating:
+            # Non-speculative core, or already inside a transient window:
+            # resolve immediately (one outstanding checkpoint only).
+            self.pc_index = actual_index
+            self.time += self.config.branch_cost
+            self._count_retire()
+            return
+
+        branch_index = self.pc_index
+        predicted_taken = self._predict_taken(branch_index)
+        self._train_predictor(branch_index, taken)
+        if predicted_taken == taken:
+            self.pc_index = actual_index
+            self.time += self.config.branch_cost
+            self._count_retire()
+            return
+
+        # Misprediction: checkpoint and follow the wrong path transiently.
+        self.stats.mispredictions += 1
+        predicted_index = instruction.target if predicted_taken else branch_index + 1
+        self._checkpoint_regs = self.regs.snapshot()
+        self._correct_index = actual_index
+        self._resolve_time = self.time + self.config.resolve_delay
+        self._speculating = True
+        self._spec_count = 0
+        self._store_buffer.clear()
+        self.pc_index = predicted_index
+        self.time += self.config.branch_cost
+        self.stats.instructions_retired += 1  # the branch itself retires

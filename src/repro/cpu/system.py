@@ -1,0 +1,137 @@
+"""Multi-core system: min-local-time scheduling plus run statistics.
+
+Cores advance independent local clocks; the scheduler always steps the core
+with the smallest local time, which keeps cross-core cache interactions in
+causal order (a discrete-event style common to multi-core timing models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cpu.core import Core, CoreConfig
+from repro.errors import SimulationError
+from repro.isa.program import Program
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class RunResult:
+    """Everything the experiments need from one simulation run."""
+
+    cycles: int
+    instructions: int
+    core_cycles: list[int]
+    core_instructions: list[int]
+    l1d_stats: list[dict]
+    l2_stats: dict
+    prefetch_counts: list[dict[str, int]]
+    prefetch_timelines: list[list[tuple[int, str, int]]]
+    samples: list[tuple[int, object]] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def total_prefetches(self, core_id: int = 0) -> int:
+        return sum(self.prefetch_counts[core_id].values())
+
+
+class System:
+    """Programs + cores + hierarchy, ready to run."""
+
+    def __init__(
+        self,
+        programs: list[Program],
+        hierarchy: MemoryHierarchy,
+        core_config: CoreConfig | None = None,
+    ) -> None:
+        if len(programs) != hierarchy.num_cores:
+            raise SimulationError(
+                f"{len(programs)} program(s) for {hierarchy.num_cores} core(s)"
+            )
+        self.hierarchy = hierarchy
+        for program in programs:
+            program.finalize()
+            hierarchy.memory.load_program_data(program)
+        self.cores = [
+            Core(core_id, program, hierarchy, core_config)
+            for core_id, program in enumerate(programs)
+        ]
+
+    def run(
+        self,
+        max_steps: int = 20_000_000,
+        sample_interval: int | None = None,
+        sample_fn: Callable[["System"], object] | None = None,
+    ) -> RunResult:
+        """Run all cores to halt.
+
+        Args:
+            max_steps: guard against runaway programs (spin deadlocks).
+            sample_interval: when set, record ``sample_fn(self)`` every this
+                many scheduler steps (Fig. 12 uses this to sample protected
+                buffer counts over execution progress).
+            sample_fn: sampling callback; defaults to core 0's protected
+                buffer count when its prefetcher is a PREFENDER.
+
+        Raises:
+            SimulationError: when ``max_steps`` is exhausted first.
+        """
+        if sample_fn is None:
+            sample_fn = _default_sample
+        samples: list[tuple[int, object]] = []
+        active = [core for core in self.cores if not core.halted]
+        steps = 0
+        while active:
+            core = min(active, key=lambda candidate: candidate.time)
+            core.step()
+            steps += 1
+            if core.halted:
+                active = [c for c in active if not c.halted]
+            if sample_interval and steps % sample_interval == 0:
+                samples.append((steps, sample_fn(self)))
+            if steps >= max_steps:
+                raise SimulationError(
+                    f"exceeded {max_steps} scheduler steps; "
+                    "a program probably fails to halt"
+                )
+        return self._result(samples)
+
+    def _result(self, samples: list[tuple[int, object]]) -> RunResult:
+        hierarchy = self.hierarchy
+        return RunResult(
+            cycles=max(core.time for core in self.cores),
+            instructions=sum(
+                core.stats.instructions_retired for core in self.cores
+            ),
+            core_cycles=[core.time for core in self.cores],
+            core_instructions=[
+                core.stats.instructions_retired for core in self.cores
+            ],
+            l1d_stats=[l1d.stats.as_dict() for l1d in hierarchy.l1ds],
+            l2_stats=hierarchy.l2.stats.as_dict(),
+            prefetch_counts=[
+                hierarchy.prefetch_counts(core_id)
+                for core_id in range(hierarchy.num_cores)
+            ],
+            prefetch_timelines=[
+                hierarchy.prefetch_timeline(core_id)
+                for core_id in range(hierarchy.num_cores)
+            ],
+            samples=samples,
+        )
+
+
+def _default_sample(system: System) -> int:
+    prefetcher = system.hierarchy.prefetcher_for(0)
+    count = getattr(prefetcher, "protected_buffer_count", None)
+    if callable(count):
+        return count()
+    # CompositePrefetcher wraps PREFENDER as `primary`.
+    primary = getattr(prefetcher, "primary", None)
+    count = getattr(primary, "protected_buffer_count", None)
+    if callable(count):
+        return count()
+    return 0

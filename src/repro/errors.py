@@ -1,0 +1,41 @@
+"""Exception hierarchy for the PREFENDER reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class AssemblyError(ReproError):
+    """Raised when assembly source cannot be parsed or resolved.
+
+    Attributes:
+        line_no: 1-based source line number when known, else ``None``.
+    """
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class ExecutionError(ReproError):
+    """Raised when a program performs an illegal operation at run time."""
+
+
+class ConfigError(ReproError):
+    """Raised when a simulation configuration is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator reaches an unrecoverable state.
+
+    The most common cause is a program that fails to halt within the
+    configured instruction or cycle budget.
+    """

@@ -1,0 +1,110 @@
+"""Shared experiment configuration and helpers.
+
+Two standard cores:
+
+* ``PERF_CORE`` — the performance-evaluation core (Tables IV/V/VI, Figs.
+  10-12): an OoO-like window hides up to 110 cycles of load latency.
+* security runs use the default blocking core (attacks serialise their
+  measurements anyway, so the distinction only affects wall-clock).
+
+Security experiments use 8 access buffers so the C3 noise (12 distinct
+load PCs) genuinely thrashes the Access Tracker, as in the paper's
+challenge construction; performance experiments use the paper's 16/32/64
+sweep.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.config import PrefenderConfig
+from repro.cpu.core import CoreConfig
+from repro.sim.config import PrefetcherSpec, SystemConfig
+from repro.sim.simulator import run_program
+from repro.workloads import get_workload
+
+PERF_CORE = CoreConfig(load_hide_cycles=110)
+
+SECURITY_BUFFERS = 8
+
+
+def security_prefender(variant: str) -> PrefenderConfig:
+    """PREFENDER variant configs used in Fig. 8 (8 access buffers)."""
+    variants = {
+        "ST": PrefenderConfig.st_only(),
+        "AT": PrefenderConfig.at_only().with_buffers(SECURITY_BUFFERS),
+        "ST+AT": PrefenderConfig.st_at(SECURITY_BUFFERS),
+        "AT+RP": PrefenderConfig.at_rp().with_buffers(SECURITY_BUFFERS),
+        "FULL": PrefenderConfig.full(SECURITY_BUFFERS),
+    }
+    return variants[variant]
+
+
+def security_spec(variant: str) -> PrefetcherSpec:
+    """PrefetcherSpec for a Fig. 8 defense column (or ``"Base"``)."""
+    if variant == "Base":
+        return PrefetcherSpec(kind="none")
+    return PrefetcherSpec(kind="prefender", prefender=security_prefender(variant))
+
+
+def perf_config(spec: PrefetcherSpec) -> SystemConfig:
+    """System config for performance runs (OoO-like core)."""
+    return SystemConfig(prefetcher=spec, core=PERF_CORE)
+
+
+@lru_cache(maxsize=512)
+def _cycles(workload_name: str, spec_key: tuple, scale: float) -> int:
+    spec = _spec_from_key(spec_key)
+    program = get_workload(workload_name).program(scale)
+    return run_program(program, perf_config(spec)).cycles
+
+
+def _spec_key(spec: PrefetcherSpec) -> tuple:
+    prefender = spec.prefender
+    return (
+        spec.kind,
+        prefender.st_enabled,
+        prefender.at_enabled,
+        prefender.rp_enabled,
+        prefender.num_access_buffers,
+    )
+
+
+def _spec_from_key(key: tuple) -> PrefetcherSpec:
+    kind, st, at, rp, buffers = key
+    prefender = PrefenderConfig(
+        st_enabled=st,
+        at_enabled=at,
+        rp_enabled=rp,
+        num_access_buffers=buffers,
+    )
+    return PrefetcherSpec(kind=kind, prefender=prefender)
+
+
+def workload_cycles(
+    workload_name: str, spec: PrefetcherSpec, scale: float = 1.0
+) -> int:
+    """Cycles for one workload under one prefetcher config (cached)."""
+    return _cycles(workload_name, _spec_key(spec), scale)
+
+
+def improvement(
+    workload_name: str, spec: PrefetcherSpec, scale: float = 1.0
+) -> float:
+    """Relative speedup vs the no-prefetcher baseline (paper's metric)."""
+    baseline = workload_cycles(workload_name, PrefetcherSpec(kind="none"), scale)
+    cycles = workload_cycles(workload_name, spec, scale)
+    return baseline / cycles - 1.0
+
+
+def clear_cycle_cache() -> None:
+    """Reset memoised runs (tests use this between parameter changes)."""
+    _cycles.cache_clear()
+
+
+def table_spec(kind: str, buffers: int = 32, with_rp: bool = False) -> PrefetcherSpec:
+    """Column spec for the performance tables."""
+    prefender = (
+        PrefenderConfig.full(buffers) if with_rp else PrefenderConfig.st_at(buffers)
+    )
+    return PrefetcherSpec(kind=kind, prefender=prefender)

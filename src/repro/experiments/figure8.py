@@ -1,0 +1,106 @@
+"""Figure 8: latency-vs-index curves for every attack/challenge/defense.
+
+Twelve panels: {Flush+Reload, Evict+Reload, Prime+Probe} x {C1+C2,
++C3, +C4, +C3+C4}, each with the paper's defense configurations.  The
+verdict shape targets (DESIGN.md): baseline uniquely leaks; ST yields
+secret±1; AT floods (and fails under C3/C4 noise); RP restores the
+defense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks import (
+    AttackOutcome,
+    EvictReloadAttack,
+    FlushReloadAttack,
+    PrimeProbeAttack,
+)
+from repro.experiments.common import security_spec
+from repro.sim.config import SystemConfig
+from repro.utils.textplot import ascii_series
+
+ATTACKS = {
+    "Flush+Reload": FlushReloadAttack,
+    "Evict+Reload": EvictReloadAttack,
+    "Prime+Probe": PrimeProbeAttack,
+}
+
+# Panel layout mirrors the paper: challenges -> defense configs shown.
+PANEL_DEFENSES = {
+    "C1+C2": ["Base", "ST", "AT", "ST+AT"],
+    "C1+C2+C3": ["AT", "AT+RP"],
+    "C1+C2+C4": ["AT", "AT+RP"],
+    "C1+C2+C3+C4": ["Base", "FULL"],
+}
+
+CHALLENGE_OPTIONS = {
+    "C1+C2": {},
+    "C1+C2+C3": {"noise_c3": True},
+    "C1+C2+C4": {"noise_c4": True},
+    "C1+C2+C3+C4": {"noise_c3": True, "noise_c4": True},
+}
+
+
+@dataclass
+class Panel:
+    attack: str
+    challenges: str
+    outcomes: dict[str, AttackOutcome]  # defense label -> outcome
+
+
+def run(
+    attacks: list[str] | None = None,
+    challenges: list[str] | None = None,
+) -> list[Panel]:
+    """Run the Figure 8 grid; returns one Panel per (attack, challenge)."""
+    panels = []
+    for challenge in challenges or list(PANEL_DEFENSES):
+        options = CHALLENGE_OPTIONS[challenge]
+        for attack_name in attacks or list(ATTACKS):
+            attack_cls = ATTACKS[attack_name]
+            outcomes = {}
+            for defense in PANEL_DEFENSES[challenge]:
+                attack = attack_cls(**options)
+                outcomes[defense] = attack.run(
+                    SystemConfig(prefetcher=security_spec(defense))
+                )
+            panels.append(
+                Panel(attack=attack_name, challenges=challenge, outcomes=outcomes)
+            )
+    return panels
+
+
+def render(panels: list[Panel]) -> str:
+    blocks = []
+    for panel in panels:
+        lines = [f"--- Figure 8: {panel.attack} ({panel.challenges}) ---"]
+        first = next(iter(panel.outcomes.values()))
+        xs = list(range(len(first.latencies)))
+        series = {
+            defense: outcome.latencies for defense, outcome in panel.outcomes.items()
+        }
+        lines.append(
+            ascii_series(
+                xs,
+                series,
+                height=10,
+                title=f"latency (cycles) vs array index, secret={first.secret}",
+            )
+        )
+        for defense, outcome in panel.outcomes.items():
+            lines.append(f"  {defense:>6}: {outcome.summary()}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def verdicts(panels: list[Panel]) -> dict[tuple[str, str, str], bool]:
+    """(attack, challenge, defense) -> attack_succeeded map for assertions."""
+    result = {}
+    for panel in panels:
+        for defense, outcome in panel.outcomes.items():
+            result[(panel.attack, panel.challenges, defense)] = (
+                outcome.attack_succeeded
+            )
+    return result

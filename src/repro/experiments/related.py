@@ -1,0 +1,127 @@
+"""Tables I & II: related-work comparisons, plus a behavioural ablation.
+
+The paper's Tables I/II are qualitative; we encode them as data (for the
+docs) and *verify the rows we can*: BITP and Disruptive Prefetching are
+implemented in :mod:`repro.prefetch`, so the ablation runs the actual
+attacks against them and checks the claimed defense coverage:
+
+* BITP triggers only on cross-core back-invalidations — single-core
+  Flush+Reload / Evict+Reload / Prime+Probe go straight through it.
+* Disruptive Prefetching perturbs set-granularity attacks (Prime+Probe)
+  but leaves line-granularity Flush+Reload intact.
+* PREFENDER defends all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks import (
+    EvictReloadAttack,
+    EvictTimeAttack,
+    FlushReloadAttack,
+    PrimeProbeAttack,
+)
+from repro.core.config import PrefenderConfig
+from repro.sim.config import PrefetcherSpec, SystemConfig
+
+# Table I (condensed): approach class and reported performance overhead.
+TABLE_I = {
+    "Conditional Speculation": ("speculation restriction", "13%-54%"),
+    "NDA": ("speculation restriction", "11%-125%"),
+    "SpecShield": ("speculation restriction", "10%-73%"),
+    "InvisiSpec": ("shadow structures", "21%-72%"),
+    "SafeSpec": ("shadow structures", "-3%"),
+    "MuonTrap": ("shadow structures", "4%"),
+    "SpecPref": ("prefetcher hardening", "1.17%"),
+    "Catalyst": ("cache partition", "0.70%"),
+    "StealthMem": ("cache partition", "5.90%"),
+    "DAWG": ("cache partition", "15%"),
+    "CEASER": ("randomized mapping", "1%"),
+    "RPcache": ("randomized mapping", "0.30%"),
+    "SHARP": ("replacement policy", "0%"),
+    "Prefender": ("prefetch", "-1.69%/-6.28% (improvement)"),
+}
+
+# Table II rows we verify behaviourally (True = defends).
+TABLE_II_CLAIMS = {
+    # (defense, attack, single_core): defends?
+    ("bitp", "Flush+Reload", True): False,
+    ("bitp", "Evict+Reload", True): False,
+    ("bitp", "Prime+Probe", True): False,
+    ("disruptive", "Flush+Reload", True): False,
+    ("disruptive", "Prime+Probe", True): True,
+    ("prefender", "Flush+Reload", True): True,
+    ("prefender", "Evict+Reload", True): True,
+    ("prefender", "Prime+Probe", True): True,
+    # Table II marks Evict+Time (timing-based, types 1/3 of [20]) as NOT
+    # defended by PREFENDER: the attacker times the whole victim run, so
+    # decoy lines add no ambiguity — the single anomalous round survives.
+    ("prefender", "Evict+Time", True): False,
+}
+
+ATTACKS = {
+    "Flush+Reload": FlushReloadAttack,
+    "Evict+Reload": EvictReloadAttack,
+    "Prime+Probe": PrimeProbeAttack,
+    "Evict+Time": EvictTimeAttack,
+}
+
+
+@dataclass
+class AblationRow:
+    defense: str
+    attack: str
+    expected_defended: bool
+    observed_defended: bool
+    candidates: int
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.expected_defended == self.observed_defended
+
+
+def _spec(defense: str) -> PrefetcherSpec:
+    if defense == "prefender":
+        return PrefetcherSpec(
+            kind="prefender", prefender=PrefenderConfig.full(8)
+        )
+    return PrefetcherSpec(kind=defense)
+
+
+def run() -> list[AblationRow]:
+    """Run the verifiable Table II rows."""
+    rows = []
+    for (defense, attack_name, _single), expected in TABLE_II_CLAIMS.items():
+        attack = ATTACKS[attack_name]()
+        outcome = attack.run(SystemConfig(prefetcher=_spec(defense)))
+        if attack_name == "Evict+Time":
+            # "Defended" for a whole-run timing channel means the anomalous
+            # round became ambiguous; a single surviving candidate (even if
+            # shifted by the defense's own prefetches) is a working channel.
+            defended = len(outcome.candidates) != 1
+        else:
+            defended = outcome.defended
+        rows.append(
+            AblationRow(
+                defense=defense,
+                attack=attack_name,
+                expected_defended=expected,
+                observed_defended=defended,
+                candidates=len(outcome.candidates),
+            )
+        )
+    return rows
+
+
+def render(rows: list[AblationRow]) -> str:
+    lines = ["Table II ablation: defense coverage of related prefetch defenses"]
+    for row in rows:
+        status = "matches paper" if row.matches_paper else "MISMATCH"
+        lines.append(
+            f"  {row.defense:>10} vs {row.attack:<13} "
+            f"defended={str(row.observed_defended):<5} "
+            f"(paper: {row.expected_defended}, {row.candidates} candidates) "
+            f"[{status}]"
+        )
+    return "\n".join(lines)

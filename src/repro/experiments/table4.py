@@ -1,0 +1,99 @@
+"""Table IV: SPEC 2006 speedups *without* the Record Protector.
+
+Columns (paper numbering): PREFENDER-ST+AT with 16/32/64 access buffers;
+Tagged; PREFENDER-ST+AT over Tagged (16/32/64); Stride; PREFENDER-ST+AT
+over Stride (16/32/64).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import improvement, table_spec
+from repro.utils.tables import render_table
+from repro.workloads import SPEC2006_NAMES
+
+BUFFER_SWEEP = (16, 32, 64)
+
+
+@dataclass
+class TableResult:
+    title: str
+    headers: list[str]
+    rows: list[list[object]]  # benchmark name + float improvements
+    averages: list[float]
+
+    def column(self, header: str) -> dict[str, float]:
+        """Per-benchmark values of one column."""
+        index = self.headers.index(header)
+        return {row[0]: row[index] for row in self.rows}
+
+
+def _columns(with_rp: bool) -> list[tuple[str, object]]:
+    prefix = "Prefender" if with_rp else "ST+AT"
+    columns: list[tuple[str, object]] = []
+    for buffers in BUFFER_SWEEP:
+        columns.append(
+            (f"{prefix}/{buffers}", table_spec("prefender", buffers, with_rp))
+        )
+    columns.append(("Tagged", table_spec("tagged")))
+    for buffers in BUFFER_SWEEP:
+        columns.append(
+            (
+                f"{prefix}(T)/{buffers}",
+                table_spec("prefender+tagged", buffers, with_rp),
+            )
+        )
+    columns.append(("Stride", table_spec("stride")))
+    for buffers in BUFFER_SWEEP:
+        columns.append(
+            (
+                f"{prefix}(S)/{buffers}",
+                table_spec("prefender+stride", buffers, with_rp),
+            )
+        )
+    return columns
+
+
+def run(
+    scale: float = 1.0,
+    with_rp: bool = False,
+    workloads: list[str] | None = None,
+    buffer_sweep: tuple[int, ...] | None = None,
+) -> TableResult:
+    """Regenerate Table IV (or Table V with ``with_rp=True``)."""
+    names = workloads or SPEC2006_NAMES
+    columns = _columns(with_rp)
+    if buffer_sweep is not None:
+        keep = {f.split("/")[-1] for f in map(str, buffer_sweep)}
+        columns = [
+            (header, spec)
+            for header, spec in columns
+            if "/" not in header or header.split("/")[-1] in keep
+        ]
+    rows: list[list[object]] = []
+    for name in names:
+        row: list[object] = [name]
+        for _, spec in columns:
+            row.append(improvement(name, spec, scale))
+        rows.append(row)
+    averages = [
+        sum(row[i + 1] for row in rows) / len(rows) for i in range(len(columns))
+    ]
+    title = (
+        "Table V: SPEC2006 improvement with Record Protector"
+        if with_rp
+        else "Table IV: SPEC2006 improvement without Record Protector"
+    )
+    return TableResult(
+        title=title,
+        headers=["benchmark"] + [header for header, _ in columns],
+        rows=rows,
+        averages=averages,
+    )
+
+
+def render(result: TableResult) -> str:
+    rows = [list(row) for row in result.rows]
+    rows.append(["Avg."] + list(result.averages))
+    return render_table(result.headers, rows, title=result.title)

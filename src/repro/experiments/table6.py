@@ -1,0 +1,52 @@
+"""Table VI: SPEC 2017 speedups (32 access buffers).
+
+Paper columns: PREFENDER-ST+AT; full PREFENDER; Tagged; ST+AT (Tagged);
+full (Tagged); Stride; ST+AT (Stride); full (Stride).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import improvement, table_spec
+from repro.experiments.table4 import TableResult
+from repro.utils.tables import render_table
+from repro.workloads import SPEC2017_NAMES
+
+
+def _columns() -> list[tuple[str, object]]:
+    return [
+        ("ST+AT", table_spec("prefender", 32, with_rp=False)),
+        ("Prefender", table_spec("prefender", 32, with_rp=True)),
+        ("Tagged", table_spec("tagged")),
+        ("ST+AT(T)", table_spec("prefender+tagged", 32, with_rp=False)),
+        ("Prefender(T)", table_spec("prefender+tagged", 32, with_rp=True)),
+        ("Stride", table_spec("stride")),
+        ("ST+AT(S)", table_spec("prefender+stride", 32, with_rp=False)),
+        ("Prefender(S)", table_spec("prefender+stride", 32, with_rp=True)),
+    ]
+
+
+def run(scale: float = 1.0, workloads: list[str] | None = None) -> TableResult:
+    """Regenerate Table VI."""
+    names = workloads or SPEC2017_NAMES
+    columns = _columns()
+    rows: list[list[object]] = []
+    for name in names:
+        row: list[object] = [name]
+        for _, spec in columns:
+            row.append(improvement(name, spec, scale))
+        rows.append(row)
+    averages = [
+        sum(row[i + 1] for row in rows) / len(rows) for i in range(len(columns))
+    ]
+    return TableResult(
+        title="Table VI: SPEC2017 improvement (32 access buffers)",
+        headers=["benchmark"] + [header for header, _ in columns],
+        rows=rows,
+        averages=averages,
+    )
+
+
+def render(result: TableResult) -> str:
+    rows = [list(row) for row in result.rows]
+    rows.append(["Avg."] + list(result.averages))
+    return render_table(result.headers, rows, title=result.title)

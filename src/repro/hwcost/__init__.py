@@ -1,0 +1,19 @@
+"""Hardware resource model for PREFENDER (paper Sec. V-E)."""
+
+from repro.hwcost.model import (
+    AccessTrackerCost,
+    HardwareCostReport,
+    RecordProtectorCost,
+    ScaleTrackerCost,
+    estimate,
+    render_report,
+)
+
+__all__ = [
+    "AccessTrackerCost",
+    "HardwareCostReport",
+    "RecordProtectorCost",
+    "ScaleTrackerCost",
+    "estimate",
+    "render_report",
+]

@@ -1,0 +1,153 @@
+"""Analytical reproduction of the paper's Section V-E resource estimates.
+
+The paper's claims to reproduce:
+
+* Scale Tracker: 16-bit values suffice (prefetching stays in one page even
+  at 64KB pages); 2 values/register -> "hundreds of bytes" for dozens of
+  registers; datapath: one 16-bit adder, multiplier, comparator.
+* Access Tracker: 32 buffers x 8 entries at worst-case 64-bit values ->
+  < 3KB SRAM; 20-bit comparators/adders suffice up to a 1MB L1D.
+* Record Protector: 8-entry scale buffer x (16+64) bits + one 80-bit
+  register per access buffer -> 400 bytes; a 9-bit modulus (set index of a
+  64KB 2-way L1D) computes in 2 cycles on ASAP7, hidden behind the access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScaleTrackerCost:
+    registers: int = 32
+    value_bits: int = 16  # enough for in-page scales even at 64KB pages
+    values_per_register: int = 2  # fva + sc
+
+    @property
+    def sram_bits(self) -> int:
+        return self.registers * self.values_per_register * self.value_bits
+
+    @property
+    def sram_bytes(self) -> int:
+        return self.sram_bits // 8
+
+    @property
+    def datapath(self) -> dict[str, int]:
+        return {"adder_bits": 16, "multiplier_bits": 16, "comparator_bits": 16}
+
+
+@dataclass(frozen=True)
+class AccessTrackerCost:
+    buffers: int = 32
+    entries_per_buffer: int = 8
+    entry_bits: int = 64  # conservative upper bound from the paper
+    inst_addr_bits: int = 64
+    diff_min_bits: int = 20  # covers set+tag distances up to a 1MB L1D
+
+    @property
+    def sram_bits(self) -> int:
+        per_buffer = (
+            self.entries_per_buffer * self.entry_bits
+            + self.inst_addr_bits
+            + self.diff_min_bits
+        )
+        return self.buffers * per_buffer
+
+    @property
+    def sram_bytes(self) -> int:
+        return self.sram_bits // 8
+
+    @property
+    def datapath(self) -> dict[str, int]:
+        return {
+            "comparator_bits": self.diff_min_bits,
+            "adder_bits": self.diff_min_bits,
+            "comparators_per_buffer": self.entries_per_buffer,
+        }
+
+
+@dataclass(frozen=True)
+class RecordProtectorCost:
+    scale_buffer_entries: int = 8
+    scale_bits: int = 16
+    blk_addr_bits: int = 64
+    access_buffers: int = 32
+    l1_sets: int = 512  # 64KB 2-way, 64B lines
+    modulus_latency_cycles: int = 2  # Synopsys DC + ASAP7 synthesis result
+
+    @property
+    def entry_bits(self) -> int:
+        return self.scale_bits + self.blk_addr_bits  # 80 bits
+
+    @property
+    def sram_bits(self) -> int:
+        scale_buffer = self.scale_buffer_entries * self.entry_bits
+        protected_regs = self.access_buffers * self.entry_bits
+        return scale_buffer + protected_regs
+
+    @property
+    def sram_bytes(self) -> int:
+        return self.sram_bits // 8
+
+    @property
+    def modulus_bits(self) -> int:
+        return (self.l1_sets - 1).bit_length()  # 9 bits for 512 sets
+
+
+@dataclass(frozen=True)
+class HardwareCostReport:
+    scale_tracker: ScaleTrackerCost
+    access_tracker: AccessTrackerCost
+    record_protector: RecordProtectorCost
+
+    @property
+    def total_sram_bytes(self) -> int:
+        return (
+            self.scale_tracker.sram_bytes
+            + self.access_tracker.sram_bytes
+            + self.record_protector.sram_bytes
+        )
+
+
+def estimate(
+    registers: int = 32,
+    buffers: int = 32,
+    entries_per_buffer: int = 8,
+    scale_buffer_entries: int = 8,
+    l1_sets: int = 512,
+) -> HardwareCostReport:
+    """Build the Section V-E cost report for a PREFENDER configuration."""
+    return HardwareCostReport(
+        scale_tracker=ScaleTrackerCost(registers=registers),
+        access_tracker=AccessTrackerCost(
+            buffers=buffers, entries_per_buffer=entries_per_buffer
+        ),
+        record_protector=RecordProtectorCost(
+            scale_buffer_entries=scale_buffer_entries,
+            access_buffers=buffers,
+            l1_sets=l1_sets,
+        ),
+    )
+
+
+def render_report(report: HardwareCostReport) -> str:
+    st, at, rp = (
+        report.scale_tracker,
+        report.access_tracker,
+        report.record_protector,
+    )
+    return "\n".join(
+        [
+            "Section V-E hardware resource estimates",
+            f"  Scale Tracker:    {st.sram_bytes} B SRAM "
+            f"({st.registers} regs x 2 x {st.value_bits}b), "
+            f"16-bit adder/multiplier/comparator",
+            f"  Access Tracker:   {at.sram_bytes} B SRAM "
+            f"({at.buffers} buffers x {at.entries_per_buffer} x {at.entry_bits}b"
+            f" + tags), {at.diff_min_bits}-bit datapath",
+            f"  Record Protector: {rp.sram_bytes} B SRAM "
+            f"({rp.scale_buffer_entries}+{rp.access_buffers} x {rp.entry_bits}b),"
+            f" {rp.modulus_bits}-bit modulus in {rp.modulus_latency_cycles} cycles",
+            f"  Total:            {report.total_sram_bytes} B",
+        ]
+    )

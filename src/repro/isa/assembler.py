@@ -1,0 +1,242 @@
+"""Two-pass text assembler for the reproduction ISA.
+
+Syntax overview (see ``examples/`` for full programs)::
+
+    .name demo                      ; optional program name
+    .equ STRIDE 0x200               ; named constant
+    .data 0x10000 stride=8 1 2 3    ; words 1,2,3 at 0x10000 step 8
+    .fill 0x20000 count=8 stride=64 value=0
+
+    start:
+        li   r1, STRIDE
+        load r2, 0(r1)              ; rd, offset(base)
+        add  r3, r1, r2             ; register form
+        add  r3, r3, 16             ; immediate form
+        beq  r3, zero, start
+        halt
+
+Comments start with ``#`` or ``;``.  Labels are identifiers followed by a
+colon.  Immediates may be decimal, hex (``0x``), negative, or ``.equ`` names.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import ALU_OPS, BRANCH_OPS, Instruction
+from repro.isa.program import DataSegment, Program
+from repro.isa.registers import REGISTER_ALIASES, register_index
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_OFFSET_RE = re.compile(r"^(?P<offset>[^()]*)\((?P<base>[A-Za-z0-9_]+)\)$")
+_KEYVAL_RE = re.compile(r"^([a-z]+)=(.+)$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        position = line.find(marker)
+        if position >= 0:
+            line = line[:position]
+    return line.strip()
+
+
+def _is_register(token: str) -> bool:
+    text = token.lower()
+    if text in REGISTER_ALIASES:
+        return True
+    return text.startswith("r") and text[1:].isdigit()
+
+
+class _Parser:
+    """Single-file assembler state (constants, current program)."""
+
+    def __init__(self, source: str, name: str) -> None:
+        self.source = source
+        self.program = Program(name=name)
+        self.constants: dict[str, int] = {}
+
+    def parse_int(self, token: str, line_no: int) -> int:
+        token = token.strip()
+        if token in self.constants:
+            return self.constants[token]
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AssemblyError(f"bad integer {token!r}", line_no) from None
+
+    def parse_register(self, token: str, line_no: int) -> int:
+        try:
+            return register_index(token)
+        except Exception:
+            raise AssemblyError(f"bad register {token!r}", line_no) from None
+
+    def run(self) -> Program:
+        for line_no, raw in enumerate(self.source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line, line_no)
+                continue
+            match = _LABEL_RE.match(line)
+            if match:
+                try:
+                    self.program.add_label(match.group(1))
+                except AssemblyError as error:
+                    raise AssemblyError(str(error), line_no) from None
+                continue
+            self._instruction(line, line_no)
+        return self.program.finalize()
+
+    # -- directives --------------------------------------------------------
+
+    def _directive(self, line: str, line_no: int) -> None:
+        parts = line.split()
+        directive = parts[0]
+        if directive == ".name":
+            if len(parts) != 2:
+                raise AssemblyError(".name takes one argument", line_no)
+            self.program.name = parts[1]
+        elif directive == ".equ":
+            if len(parts) != 3:
+                raise AssemblyError(".equ takes NAME VALUE", line_no)
+            self.constants[parts[1]] = self.parse_int(parts[2], line_no)
+        elif directive == ".data":
+            self._data(parts[1:], line_no)
+        elif directive == ".fill":
+            self._fill(parts[1:], line_no)
+        else:
+            raise AssemblyError(f"unknown directive {directive!r}", line_no)
+
+    def _split_kv(self, tokens: list[str], line_no: int) -> tuple[dict, list[str]]:
+        options: dict[str, int] = {}
+        rest: list[str] = []
+        for token in tokens:
+            match = _KEYVAL_RE.match(token)
+            if match:
+                options[match.group(1)] = self.parse_int(match.group(2), line_no)
+            else:
+                rest.append(token)
+        return options, rest
+
+    def _data(self, tokens: list[str], line_no: int) -> None:
+        if not tokens:
+            raise AssemblyError(".data needs a base address", line_no)
+        base = self.parse_int(tokens[0], line_no)
+        options, value_tokens = self._split_kv(tokens[1:], line_no)
+        stride = options.get("stride", 8)
+        values = tuple(self.parse_int(token, line_no) for token in value_tokens)
+        self.program.add_data(DataSegment(base=base, values=values, stride=stride))
+
+    def _fill(self, tokens: list[str], line_no: int) -> None:
+        if not tokens:
+            raise AssemblyError(".fill needs a base address", line_no)
+        base = self.parse_int(tokens[0], line_no)
+        options, rest = self._split_kv(tokens[1:], line_no)
+        if rest:
+            raise AssemblyError(f"unexpected tokens in .fill: {rest}", line_no)
+        count = options.get("count")
+        if count is None:
+            raise AssemblyError(".fill requires count=", line_no)
+        stride = options.get("stride", 8)
+        value = options.get("value", 0)
+        self.program.add_data(
+            DataSegment(base=base, values=(value,) * count, stride=stride)
+        )
+
+    # -- instructions -------------------------------------------------------
+
+    def _instruction(self, line: str, line_no: int) -> None:
+        mnemonic, _, operand_text = line.partition(" ")
+        op = mnemonic.lower()
+        operands = [
+            token.strip() for token in operand_text.split(",") if token.strip()
+        ]
+        try:
+            instruction = self._decode(op, operands, line_no)
+        except AssemblyError:
+            raise
+        except Exception as error:  # defensive: malformed operand shapes
+            raise AssemblyError(f"cannot parse {line!r}: {error}", line_no) from None
+        self.program.append(instruction)
+
+    def _offset_base(self, token: str, line_no: int) -> tuple[int, int]:
+        match = _OFFSET_RE.match(token)
+        if not match:
+            raise AssemblyError(f"expected offset(base), got {token!r}", line_no)
+        offset_text = match.group("offset").strip() or "0"
+        offset = self.parse_int(offset_text, line_no)
+        base = self.parse_register(match.group("base"), line_no)
+        return offset, base
+
+    def _decode(self, op: str, operands: list[str], line_no: int) -> Instruction:
+        if op == "li":
+            self._arity(op, operands, 2, line_no)
+            return Instruction(
+                "li",
+                rd=self.parse_register(operands[0], line_no),
+                imm=self.parse_int(operands[1], line_no),
+            )
+        if op == "mov":
+            self._arity(op, operands, 2, line_no)
+            return Instruction(
+                "mov",
+                rd=self.parse_register(operands[0], line_no),
+                rs0=self.parse_register(operands[1], line_no),
+            )
+        if op in ALU_OPS:
+            self._arity(op, operands, 3, line_no)
+            rd = self.parse_register(operands[0], line_no)
+            rs0 = self.parse_register(operands[1], line_no)
+            if _is_register(operands[2]):
+                return Instruction(
+                    op, rd=rd, rs0=rs0, rs1=self.parse_register(operands[2], line_no)
+                )
+            return Instruction(
+                op, rd=rd, rs0=rs0, imm=self.parse_int(operands[2], line_no)
+            )
+        if op == "load":
+            self._arity(op, operands, 2, line_no)
+            rd = self.parse_register(operands[0], line_no)
+            offset, base = self._offset_base(operands[1], line_no)
+            return Instruction("load", rd=rd, rs0=base, imm=offset)
+        if op == "store":
+            self._arity(op, operands, 2, line_no)
+            source = self.parse_register(operands[0], line_no)
+            offset, base = self._offset_base(operands[1], line_no)
+            return Instruction("store", rs0=source, rs1=base, imm=offset)
+        if op == "clflush":
+            self._arity(op, operands, 1, line_no)
+            offset, base = self._offset_base(operands[0], line_no)
+            return Instruction("clflush", rs0=base, imm=offset)
+        if op == "rdcycle":
+            self._arity(op, operands, 1, line_no)
+            return Instruction("rdcycle", rd=self.parse_register(operands[0], line_no))
+        if op in BRANCH_OPS:
+            self._arity(op, operands, 3, line_no)
+            return Instruction(
+                op,
+                rs0=self.parse_register(operands[0], line_no),
+                rs1=self.parse_register(operands[1], line_no),
+                target=operands[2],
+            )
+        if op == "jmp":
+            self._arity(op, operands, 1, line_no)
+            return Instruction("jmp", target=operands[0])
+        if op in ("nop", "fence", "halt"):
+            self._arity(op, operands, 0, line_no)
+            return Instruction(op)
+        raise AssemblyError(f"unknown mnemonic {op!r}", line_no)
+
+    @staticmethod
+    def _arity(op: str, operands: list[str], expected: int, line_no: int) -> None:
+        if len(operands) != expected:
+            raise AssemblyError(
+                f"{op} expects {expected} operand(s), got {len(operands)}", line_no
+            )
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` text into a finalized :class:`Program`."""
+    return _Parser(source, name).run()

@@ -1,0 +1,173 @@
+"""Fluent Python builder for ISA programs.
+
+Workload generators and attack constructors assemble programs
+programmatically; the builder keeps that code close to assembly while
+avoiding string round-trips::
+
+    b = ProgramBuilder("spin")
+    b.li("r1", 100)
+    b.label("loop")
+    b.sub("r1", "r1", 1)
+    b.bne("r1", "zero", "loop")
+    b.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+from repro.isa.program import DataSegment, Program
+from repro.isa.registers import register_index
+
+
+class ProgramBuilder:
+    """Accumulates instructions/labels/data and emits a finalized Program."""
+
+    def __init__(self, name: str = "program") -> None:
+        self._program = Program(name=name)
+        self._label_counter = 0
+
+    # -- infrastructure -----------------------------------------------------
+
+    def build(self) -> Program:
+        """Finalize (resolve labels) and return the program."""
+        return self._program.finalize()
+
+    def label(self, name: str) -> "ProgramBuilder":
+        self._program.add_label(name)
+        return self
+
+    def fresh_label(self, prefix: str = "L") -> str:
+        """Generate a unique label name (not yet attached)."""
+        self._label_counter += 1
+        return f"{prefix}_{self._label_counter}"
+
+    def data(self, base: int, values: list[int], stride: int = 8) -> "ProgramBuilder":
+        self._program.add_data(
+            DataSegment(base=base, values=tuple(values), stride=stride)
+        )
+        return self
+
+    def fill(
+        self, base: int, count: int, value: int = 0, stride: int = 8
+    ) -> "ProgramBuilder":
+        self._program.add_data(
+            DataSegment(base=base, values=(value,) * count, stride=stride)
+        )
+        return self
+
+    def _emit(self, instruction: Instruction) -> "ProgramBuilder":
+        self._program.append(instruction)
+        return self
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self._program)
+
+    # -- instructions --------------------------------------------------------
+
+    def li(self, rd: str, imm: int) -> "ProgramBuilder":
+        return self._emit(Instruction("li", rd=register_index(rd), imm=imm))
+
+    def mov(self, rd: str, rs: str) -> "ProgramBuilder":
+        return self._emit(
+            Instruction("mov", rd=register_index(rd), rs0=register_index(rs))
+        )
+
+    def _alu(self, op: str, rd: str, rs0: str, operand: "str | int") -> "ProgramBuilder":
+        if isinstance(operand, str):
+            return self._emit(
+                Instruction(
+                    op,
+                    rd=register_index(rd),
+                    rs0=register_index(rs0),
+                    rs1=register_index(operand),
+                )
+            )
+        return self._emit(
+            Instruction(
+                op, rd=register_index(rd), rs0=register_index(rs0), imm=operand
+            )
+        )
+
+    def add(self, rd: str, rs0: str, operand: "str | int") -> "ProgramBuilder":
+        return self._alu("add", rd, rs0, operand)
+
+    def sub(self, rd: str, rs0: str, operand: "str | int") -> "ProgramBuilder":
+        return self._alu("sub", rd, rs0, operand)
+
+    def mul(self, rd: str, rs0: str, operand: "str | int") -> "ProgramBuilder":
+        return self._alu("mul", rd, rs0, operand)
+
+    def sll(self, rd: str, rs0: str, operand: "str | int") -> "ProgramBuilder":
+        return self._alu("sll", rd, rs0, operand)
+
+    def srl(self, rd: str, rs0: str, operand: "str | int") -> "ProgramBuilder":
+        return self._alu("srl", rd, rs0, operand)
+
+    def and_(self, rd: str, rs0: str, operand: "str | int") -> "ProgramBuilder":
+        return self._alu("and", rd, rs0, operand)
+
+    def or_(self, rd: str, rs0: str, operand: "str | int") -> "ProgramBuilder":
+        return self._alu("or", rd, rs0, operand)
+
+    def xor(self, rd: str, rs0: str, operand: "str | int") -> "ProgramBuilder":
+        return self._alu("xor", rd, rs0, operand)
+
+    def load(self, rd: str, offset: int, base: str) -> "ProgramBuilder":
+        return self._emit(
+            Instruction(
+                "load", rd=register_index(rd), rs0=register_index(base), imm=offset
+            )
+        )
+
+    def store(self, rs: str, offset: int, base: str) -> "ProgramBuilder":
+        return self._emit(
+            Instruction(
+                "store", rs0=register_index(rs), rs1=register_index(base), imm=offset
+            )
+        )
+
+    def clflush(self, offset: int, base: str) -> "ProgramBuilder":
+        return self._emit(
+            Instruction("clflush", rs0=register_index(base), imm=offset)
+        )
+
+    def rdcycle(self, rd: str) -> "ProgramBuilder":
+        return self._emit(Instruction("rdcycle", rd=register_index(rd)))
+
+    def _branch(self, op: str, rs0: str, rs1: str, target: str) -> "ProgramBuilder":
+        return self._emit(
+            Instruction(
+                op,
+                rs0=register_index(rs0),
+                rs1=register_index(rs1),
+                target=target,
+            )
+        )
+
+    def beq(self, rs0: str, rs1: str, target: str) -> "ProgramBuilder":
+        return self._branch("beq", rs0, rs1, target)
+
+    def bne(self, rs0: str, rs1: str, target: str) -> "ProgramBuilder":
+        return self._branch("bne", rs0, rs1, target)
+
+    def blt(self, rs0: str, rs1: str, target: str) -> "ProgramBuilder":
+        return self._branch("blt", rs0, rs1, target)
+
+    def bge(self, rs0: str, rs1: str, target: str) -> "ProgramBuilder":
+        return self._branch("bge", rs0, rs1, target)
+
+    def jmp(self, target: str) -> "ProgramBuilder":
+        return self._emit(Instruction("jmp", target=target))
+
+    def nop(self, count: int = 1) -> "ProgramBuilder":
+        for _ in range(count):
+            self._emit(Instruction("nop"))
+        return self
+
+    def fence(self) -> "ProgramBuilder":
+        return self._emit(Instruction("fence"))
+
+    def halt(self) -> "ProgramBuilder":
+        return self._emit(Instruction("halt"))

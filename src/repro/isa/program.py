@@ -1,0 +1,112 @@
+"""Programs: instruction sequences plus initial data segments.
+
+A :class:`Program` owns a list of :class:`~repro.isa.instructions.Instruction`
+objects, a label table, and :class:`DataSegment` initialisers that populate
+main memory before execution.  Instruction addresses are
+``code_base + 4 * index`` — the Access Tracker keys its buffers on these
+PC values exactly as the hardware keys on instruction addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import BRANCH_OPS, Instruction
+
+DEFAULT_CODE_BASE = 0x0040_0000
+INSTRUCTION_SIZE = 4
+
+
+@dataclass(frozen=True)
+class DataSegment:
+    """Initial memory contents: ``values[i]`` stored at ``base + i*stride``."""
+
+    base: int
+    values: tuple[int, ...]
+    stride: int = 8
+
+    def addresses(self) -> list[int]:
+        """The byte addresses this segment initialises."""
+        return [self.base + i * self.stride for i in range(len(self.values))]
+
+
+@dataclass
+class Program:
+    """An executable program: code, labels, and initial data."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    data_segments: list[DataSegment] = field(default_factory=list)
+    name: str = "program"
+    code_base: int = DEFAULT_CODE_BASE
+    _finalized: bool = field(default=False, repr=False)
+
+    def pc_of_index(self, index: int) -> int:
+        """Instruction address for instruction ``index``."""
+        return self.code_base + INSTRUCTION_SIZE * index
+
+    def index_of_pc(self, pc: int) -> int:
+        """Instruction index for address ``pc``."""
+        return (pc - self.code_base) // INSTRUCTION_SIZE
+
+    def add_label(self, label: str) -> None:
+        """Attach ``label`` to the next instruction to be appended."""
+        if label in self.labels:
+            raise AssemblyError(f"duplicate label: {label!r}")
+        self.labels[label] = len(self.instructions)
+
+    def append(self, instruction: Instruction) -> None:
+        """Append one instruction (program must not be finalized yet)."""
+        if self._finalized:
+            raise AssemblyError("cannot append to a finalized program")
+        self.instructions.append(instruction)
+
+    def add_data(self, segment: DataSegment) -> None:
+        """Register an initial-data segment."""
+        self.data_segments.append(segment)
+
+    def finalize(self) -> "Program":
+        """Resolve branch targets from label names to instruction indices.
+
+        Returns self, for chaining.  Idempotent.
+        """
+        if self._finalized:
+            return self
+        for position, instruction in enumerate(self.instructions):
+            if instruction.op in BRANCH_OPS or instruction.op == "jmp":
+                target = instruction.target
+                if isinstance(target, str):
+                    if target not in self.labels:
+                        raise AssemblyError(
+                            f"undefined label {target!r} at instruction {position}"
+                        )
+                    instruction.target = self.labels[target]
+                elif not isinstance(target, int):
+                    raise AssemblyError(
+                        f"branch at instruction {position} has no target"
+                    )
+        self._finalized = True
+        return self
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def to_text(self) -> str:
+        """Disassemble back to readable assembly (labels inlined)."""
+        label_at: dict[int, list[str]] = {}
+        for label, index in self.labels.items():
+            label_at.setdefault(index, []).append(label)
+        lines = [f".name {self.name}"]
+        for segment in self.data_segments:
+            values = " ".join(str(v) for v in segment.values)
+            lines.append(f".data {segment.base:#x} stride={segment.stride} {values}")
+        for index, instruction in enumerate(self.instructions):
+            for label in label_at.get(index, []):
+                lines.append(f"{label}:")
+            lines.append(f"    {instruction.to_text()}")
+        return "\n".join(lines)

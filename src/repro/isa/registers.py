@@ -1,0 +1,86 @@
+"""Architectural register file.
+
+Thirty-two 64-bit general purpose registers ``r0``..``r31``.  ``r0`` is
+hard-wired to zero (writes are discarded), which gives attack and workload
+programs a free zero operand for branches.  ``sp`` and ``ra`` alias ``r30``
+and ``r31`` for readability.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+
+NUM_REGISTERS = 32
+ZERO_REGISTER = 0
+WORD_MASK = (1 << 64) - 1
+SIGN_BIT = 1 << 63
+
+REGISTER_ALIASES = {
+    "zero": 0,
+    "sp": 30,
+    "ra": 31,
+}
+
+_NAME_BY_INDEX = {index: f"r{index}" for index in range(NUM_REGISTERS)}
+
+
+def register_index(name: str) -> int:
+    """Resolve a register name (``r5``, ``sp``, ``zero``) to its index."""
+    text = name.strip().lower()
+    if text in REGISTER_ALIASES:
+        return REGISTER_ALIASES[text]
+    if text.startswith("r") and text[1:].isdigit():
+        index = int(text[1:])
+        if 0 <= index < NUM_REGISTERS:
+            return index
+    raise ExecutionError(f"unknown register name: {name!r}")
+
+
+def register_name(index: int) -> str:
+    """Canonical name (``rN``) for a register index."""
+    if index not in _NAME_BY_INDEX:
+        raise ExecutionError(f"register index out of range: {index}")
+    return _NAME_BY_INDEX[index]
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as two's-complement signed."""
+    value &= WORD_MASK
+    return value - (1 << 64) if value & SIGN_BIT else value
+
+
+class RegisterFile:
+    """Thirty-two 64-bit registers with a hard-wired zero register."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values = [0] * NUM_REGISTERS
+
+    def read(self, index: int) -> int:
+        """Read the 64-bit unsigned value of register ``index``."""
+        return self._values[index]
+
+    def read_signed(self, index: int) -> int:
+        """Read register ``index`` as a signed value (for blt/bge)."""
+        return to_signed(self._values[index])
+
+    def write(self, index: int, value: int) -> None:
+        """Write ``value`` (masked to 64 bits) unless ``index`` is r0."""
+        if index == ZERO_REGISTER:
+            return
+        self._values[index] = value & WORD_MASK
+
+    def snapshot(self) -> list[int]:
+        """Copy of all register values (used for speculation checkpoints)."""
+        return list(self._values)
+
+    def restore(self, snapshot: list[int]) -> None:
+        """Restore register values from :meth:`snapshot`."""
+        self._values[:] = snapshot
+
+    def __repr__(self) -> str:
+        nonzero = {
+            register_name(i): hex(v) for i, v in enumerate(self._values) if v
+        }
+        return f"RegisterFile({nonzero})"

@@ -1,0 +1,23 @@
+"""Memory system: main memory, caches, MSHRs and the hierarchy.
+
+Functional state (the actual word values) always lives in
+:class:`MainMemory`; caches model *timing and presence only*.  This keeps
+write-back timing modelling orthogonal to functional correctness — a common
+simulator structure (gem5's atomic mode does the same).
+"""
+
+from repro.mem.memory import MainMemory
+from repro.mem.cacheline import CacheLine
+from repro.mem.mshr import MSHRFile
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.hierarchy import AccessOutcome, MemoryHierarchy
+
+__all__ = [
+    "MainMemory",
+    "CacheLine",
+    "MSHRFile",
+    "Cache",
+    "CacheStats",
+    "AccessOutcome",
+    "MemoryHierarchy",
+]

@@ -1,0 +1,324 @@
+"""Set-associative write-back cache with true LRU, MSHRs and in-flight fills.
+
+Latency composition: a hit costs ``hit_latency``; a miss costs
+``hit_latency`` (tag lookup) plus whatever the parent level reports, and the
+line is inserted with a future ``ready_time`` so later accesses that race the
+fill merge into it.  With the default configuration this yields the three
+latency classes the attacks in the paper distinguish:
+
+* L1 hit:   4 cycles
+* L2 hit:   16 cycles (4 + 12)
+* memory:   136 cycles (4 + 12 + 120)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.mem.cacheline import CacheLine
+from repro.mem.mshr import MSHRFile
+from repro.mem.memory import MainMemory
+from repro.utils.addr import AddressMap
+
+
+@dataclass
+class CacheStats:
+    """Per-cache counters; Fig. 10 consumes ``miss_latency_total``."""
+
+    demand_accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    inflight_hits: int = 0
+    mshr_merge_hits: int = 0
+    miss_latency_total: int = 0
+    prefetch_issued: int = 0
+    prefetch_dropped: int = 0
+    useful_prefetches: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    back_invalidations: int = 0
+    cross_invalidations: int = 0
+    flushes: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.demand_accesses == 0:
+            return 0.0
+        return self.misses / self.demand_accesses
+
+    def as_dict(self) -> dict[str, int | float]:
+        data = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        data["miss_rate"] = self.miss_rate
+        return data
+
+
+class MemoryPort:
+    """Terminal 'parent' wrapping main memory's flat latency."""
+
+    level_name = "MEM"
+
+    def __init__(self, memory: MainMemory) -> None:
+        self._memory = memory
+
+    def access(
+        self, addr: int, now: int, write: bool = False, demand: bool = True
+    ) -> tuple[int, str]:
+        return self._memory.latency, "MEM"
+
+    def mark_dirty(self, block_addr: int) -> None:
+        """Writebacks reaching memory need no bookkeeping."""
+
+
+class Cache:
+    """One level of set-associative cache."""
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        assoc: int,
+        amap: AddressMap,
+        hit_latency: int,
+        parent: "Cache | MemoryPort",
+        mshr_entries: int = 4,
+        mshr_max_merges: int = 20,
+    ) -> None:
+        block = amap.block_size
+        if size % (assoc * block) != 0:
+            raise ConfigError(
+                f"{name}: size {size} not divisible by assoc*block "
+                f"({assoc}*{block})"
+            )
+        self.name = name
+        # "L1D0" -> "L1D" (strip the core id), but keep "L2" intact.
+        stripped = name.rstrip("0123456789")
+        self.level_name = stripped if len(stripped) >= 2 else name
+        self.size = size
+        self.assoc = assoc
+        self.amap = amap
+        self.hit_latency = hit_latency
+        self.parent = parent
+        self.num_sets = size // (assoc * block)
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigError(f"{name}: num_sets {self.num_sets} not a power of two")
+        self._sets = [[CacheLine() for _ in range(assoc)] for _ in range(self.num_sets)]
+        self._stamps = [[0] * assoc for _ in range(self.num_sets)]
+        self._clock = 0
+        self.mshr = MSHRFile(num_entries=mshr_entries, max_merges=mshr_max_merges)
+        self.stats = CacheStats()
+        # Set by the hierarchy on the shared L2 to back-invalidate L1 copies.
+        self.on_evict: Callable[[int, int], None] | None = None
+
+    # -- lookup helpers ------------------------------------------------------
+
+    def _set_index(self, block_addr: int) -> int:
+        return self.amap.set_index(block_addr, self.num_sets)
+
+    def _find(self, block_addr: int) -> tuple[int, int | None]:
+        set_index = self._set_index(block_addr)
+        for way, line in enumerate(self._sets[set_index]):
+            if line.valid and line.block_addr == block_addr:
+                return set_index, way
+        return set_index, None
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._stamps[set_index][way] = self._clock
+
+    def contains(self, block_addr: int) -> bool:
+        """True when the line is present (including in-flight fills)."""
+        return self._find(self.amap.block_addr(block_addr))[1] is not None
+
+    def contains_ready(self, block_addr: int, now: int) -> bool:
+        """True when the line is present and its data has arrived."""
+        set_index, way = self._find(self.amap.block_addr(block_addr))
+        return way is not None and self._sets[set_index][way].ready(now)
+
+    def line_for(self, block_addr: int) -> CacheLine | None:
+        """The line holding ``block_addr`` or None (tests/analysis)."""
+        set_index, way = self._find(self.amap.block_addr(block_addr))
+        return None if way is None else self._sets[set_index][way]
+
+    # -- replacement ---------------------------------------------------------
+
+    def _victim_way(self, set_index: int) -> int:
+        ways = self._sets[set_index]
+        for way, line in enumerate(ways):
+            if not line.valid:
+                return way
+        stamps = self._stamps[set_index]
+        return min(range(self.assoc), key=lambda way: stamps[way])
+
+    def _evict(self, set_index: int, way: int, now: int) -> None:
+        line = self._sets[set_index][way]
+        if not line.valid:
+            return
+        self.stats.evictions += 1
+        if line.dirty:
+            self.stats.writebacks += 1
+            self.parent.mark_dirty(line.block_addr)
+        if self.on_evict is not None:
+            self.on_evict(line.block_addr, now)
+        line.invalidate()
+
+    def _insert(
+        self,
+        block_addr: int,
+        now: int,
+        ready_time: int,
+        prefetched: bool,
+        component: str | None,
+    ) -> CacheLine:
+        set_index = self._set_index(block_addr)
+        way = self._victim_way(set_index)
+        self._evict(set_index, way, now)
+        line = self._sets[set_index][way]
+        line.fill(
+            block_addr, ready_time, prefetched=prefetched, component=component
+        )
+        self._touch(set_index, way)
+        return line
+
+    def mark_dirty(self, block_addr: int) -> None:
+        """Receive a writeback from a child (inclusive hierarchy)."""
+        set_index, way = self._find(self.amap.block_addr(block_addr))
+        if way is not None:
+            self._sets[set_index][way].dirty = True
+        # A missing line (back-invalidated earlier) silently reaches memory.
+
+    # -- demand path ---------------------------------------------------------
+
+    def access(
+        self, addr: int, now: int, write: bool = False, demand: bool = True
+    ) -> tuple[int, str]:
+        """Access ``addr`` at time ``now``; returns (latency, source level).
+
+        ``demand=False`` is the prefetch-fill path used by child caches: the
+        state transitions are identical but the counters differ.
+        """
+        block_addr = self.amap.block_addr(addr)
+        set_index, way = self._find(block_addr)
+        if demand:
+            self.stats.demand_accesses += 1
+
+        if way is not None:
+            line = self._sets[set_index][way]
+            self._touch(set_index, way)
+            if write:
+                line.dirty = True
+            if line.ready(now):
+                if demand:
+                    self.stats.hits += 1
+                    if line.prefetched and not line.useful_counted:
+                        self.stats.useful_prefetches += 1
+                        line.useful_counted = True
+                return self.hit_latency, self.level_name
+            # In-flight fill: merge with it and pay the residual latency.
+            latency = max(self.hit_latency, line.ready_time - now)
+            if demand:
+                self.stats.inflight_hits += 1
+                self.stats.miss_latency_total += latency - self.hit_latency
+            return latency, "INFLIGHT"
+
+        if demand:
+            self.stats.misses += 1
+
+        merged_ready = self.mshr.merge(block_addr, now)
+        if merged_ready is not None:
+            latency = max(self.hit_latency, merged_ready - now)
+            if demand:
+                self.stats.mshr_merge_hits += 1
+                self.stats.miss_latency_total += latency - self.hit_latency
+            return latency, "MSHR"
+
+        below_latency, below_level = self.parent.access(
+            block_addr, now + self.hit_latency, write=False, demand=demand
+        )
+        fill_time = self.hit_latency + below_latency
+        if demand:
+            start, ready_time = self.mshr.allocate_demand(block_addr, now, fill_time)
+        else:
+            # Prefetch-triggered fill arriving from a child cache: it must
+            # not occupy a demand MSHR (capacity was enforced at the child).
+            start = now
+            ready_time = self.mshr.allocate_prefetch_fill(
+                block_addr, now, fill_time
+            )
+        total_latency = (start - now) + fill_time
+        line = self._insert(
+            block_addr,
+            now,
+            now + total_latency,
+            prefetched=not demand,
+            component=None,
+        )
+        if write:
+            line.dirty = True
+        if demand:
+            self.stats.miss_latency_total += total_latency - self.hit_latency
+        return total_latency, below_level
+
+    # -- prefetch path -------------------------------------------------------
+
+    def prefetch(self, addr: int, now: int, component: str) -> int | None:
+        """Prefetch ``addr`` into this cache (and below, via the parent).
+
+        Returns the fill's ready time, or ``None`` when suppressed (already
+        present) or dropped (no MSHR free).
+        """
+        block_addr = self.amap.block_addr(addr)
+        if self.contains(block_addr):
+            return None
+        if not self.mshr.prefetch_available(now):
+            self.mshr.prefetch_drops += 1
+            self.stats.prefetch_dropped += 1
+            return None
+        below_latency, _ = self.parent.access(
+            block_addr, now + self.hit_latency, write=False, demand=False
+        )
+        fill_time = self.hit_latency + below_latency
+        ready_time = self.mshr.allocate_prefetch(block_addr, now, fill_time)
+        if ready_time is None:  # pragma: no cover - guarded by available()
+            self.stats.prefetch_dropped += 1
+            return None
+        self._insert(
+            block_addr, now, ready_time, prefetched=True, component=component
+        )
+        self.stats.prefetch_issued += 1
+        return ready_time
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate_block(self, block_addr: int) -> bool:
+        """Drop the line if present; returns True when a valid copy existed."""
+        block_addr = self.amap.block_addr(block_addr)
+        set_index, way = self._find(block_addr)
+        if way is None:
+            return False
+        self._sets[set_index][way].invalidate()
+        return True
+
+    def flush_block(self, block_addr: int) -> bool:
+        """clflush semantics: write back if dirty, then invalidate."""
+        block_addr = self.amap.block_addr(block_addr)
+        set_index, way = self._find(block_addr)
+        if way is None:
+            return False
+        line = self._sets[set_index][way]
+        if line.dirty:
+            self.stats.writebacks += 1
+            self.parent.mark_dirty(line.block_addr)
+        line.invalidate()
+        self.stats.flushes += 1
+        return True
+
+    def resident_blocks(self) -> list[int]:
+        """All valid block addresses (tests/analysis)."""
+        return [
+            line.block_addr
+            for ways in self._sets
+            for line in ways
+            if line.valid
+        ]

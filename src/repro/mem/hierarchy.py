@@ -1,0 +1,252 @@
+"""The multi-core memory hierarchy.
+
+Per-core L1D caches over a shared inclusive L2 (the LLC in the paper's
+cross-core experiments) over main memory.  The hierarchy owns:
+
+* demand load/store routing with per-level latency composition,
+* clflush-everywhere semantics (x86 ``clflush``),
+* cross-L1 write invalidation (write-invalidate coherence-lite),
+* inclusive back-invalidation on L2 evictions (the hook BITP listens to),
+* prefetcher notification and prefetch issue, with per-component counts and
+  timestamped timelines (Figs. 9 and 11 read these).
+
+The L1I is assumed ideal (instruction fetch costs are folded into the core's
+per-instruction base cost); the defense and all attacks live entirely on the
+data side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.cache import Cache, MemoryPort
+from repro.mem.memory import MainMemory
+from repro.prefetch.base import Observation, Prefetcher, PrefetchRequest
+from repro.utils.addr import AddressMap
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry and latencies; defaults mirror the paper's gem5 baseline."""
+
+    l1d_size: int = 64 * 1024
+    l1d_assoc: int = 2
+    l2_size: int = 2 * 1024 * 1024
+    l2_assoc: int = 16
+    l1_hit_latency: int = 4
+    l2_hit_latency: int = 12
+    memory_latency: int = 120
+    flush_latency: int = 30
+    mshr_entries: int = 4
+    mshr_max_merges: int = 20
+    nonblocking_stores: bool = True
+    record_timelines: bool = True
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of one demand access."""
+
+    value: int
+    latency: int
+    level: str  # "L1D", "L2", "MEM", "INFLIGHT", "MSHR"
+
+
+@dataclass
+class _PrefetchLog:
+    counts: dict[str, int] = field(default_factory=dict)
+    timeline: list[tuple[int, str, int]] = field(default_factory=list)
+
+
+class MemoryHierarchy:
+    """Cores' window onto memory: caches + coherence-lite + prefetchers."""
+
+    def __init__(
+        self,
+        num_cores: int,
+        config: HierarchyConfig | None = None,
+        amap: AddressMap | None = None,
+        memory: MainMemory | None = None,
+    ) -> None:
+        self.config = config or HierarchyConfig()
+        self.amap = amap or AddressMap()
+        self.num_cores = num_cores
+        self.memory = memory or MainMemory(latency=self.config.memory_latency)
+        self.memory.latency = self.config.memory_latency
+        self._port = MemoryPort(self.memory)
+        self.l2 = Cache(
+            "L2",
+            size=self.config.l2_size,
+            assoc=self.config.l2_assoc,
+            amap=self.amap,
+            hit_latency=self.config.l2_hit_latency,
+            parent=self._port,
+            mshr_entries=self.config.mshr_entries * max(num_cores, 1),
+            mshr_max_merges=self.config.mshr_max_merges,
+        )
+        self.l2.on_evict = self._back_invalidate
+        self.l1ds = [
+            Cache(
+                f"L1D{core_id}",
+                size=self.config.l1d_size,
+                assoc=self.config.l1d_assoc,
+                amap=self.amap,
+                hit_latency=self.config.l1_hit_latency,
+                parent=self.l2,
+                mshr_entries=self.config.mshr_entries,
+                mshr_max_merges=self.config.mshr_max_merges,
+            )
+            for core_id in range(num_cores)
+        ]
+        self._prefetchers: dict[int, Prefetcher] = {}
+        self._logs = [_PrefetchLog() for _ in range(num_cores)]
+
+    # -- prefetcher plumbing -------------------------------------------------
+
+    def attach_prefetcher(self, core_id: int, prefetcher: Prefetcher) -> None:
+        """Install ``prefetcher`` on core ``core_id``'s L1D."""
+        self._prefetchers[core_id] = prefetcher
+
+    def prefetcher_for(self, core_id: int) -> Prefetcher | None:
+        return self._prefetchers.get(core_id)
+
+    def prefetch_counts(self, core_id: int) -> dict[str, int]:
+        """Issued prefetch counts by component for one core."""
+        return dict(self._logs[core_id].counts)
+
+    def prefetch_timeline(self, core_id: int) -> list[tuple[int, str, int]]:
+        """(cycle, component, block address) tuples for issued prefetches."""
+        return list(self._logs[core_id].timeline)
+
+    def total_prefetch_counts(self) -> dict[str, int]:
+        """Issued prefetch counts by component summed over all cores."""
+        totals: dict[str, int] = {}
+        for log in self._logs:
+            for component, count in log.counts.items():
+                totals[component] = totals.get(component, 0) + count
+        return totals
+
+    def _issue_requests(
+        self, core_id: int, now: int, requests: list[PrefetchRequest]
+    ) -> int:
+        issued = 0
+        l1d = self.l1ds[core_id]
+        log = self._logs[core_id]
+        for request in requests:
+            ready = l1d.prefetch(request.addr, now, request.component)
+            if ready is None:
+                continue
+            issued += 1
+            component = request.component
+            log.counts[component] = log.counts.get(component, 0) + 1
+            if self.config.record_timelines:
+                log.timeline.append(
+                    (now, component, self.amap.block_addr(request.addr))
+                )
+        return issued
+
+    def _notify(self, core_id: int, observation: Observation) -> None:
+        prefetcher = self._prefetchers.get(core_id)
+        if prefetcher is None:
+            return
+        l1d = self.l1ds[core_id]
+        requests = prefetcher.observe(observation, l1d.contains)
+        if requests:
+            self._issue_requests(core_id, observation.now, requests)
+
+    # -- demand interface ----------------------------------------------------
+
+    def load(
+        self,
+        core_id: int,
+        addr: int,
+        now: int,
+        pc: int = 0,
+        scale: int = 1,
+        speculative: bool = False,
+    ) -> AccessOutcome:
+        """Demand load: returns value + latency + fill source."""
+        l1d = self.l1ds[core_id]
+        latency, level = l1d.access(addr, now, write=False)
+        value = self.memory.read(addr)
+        observation = Observation(
+            op="load",
+            core_id=core_id,
+            pc=pc,
+            addr=addr,
+            block_addr=self.amap.block_addr(addr),
+            hit=(level == l1d.level_name),
+            now=now,
+            scale=scale,
+            speculative=speculative,
+        )
+        self._notify(core_id, observation)
+        return AccessOutcome(value=value, latency=latency, level=level)
+
+    def store(
+        self,
+        core_id: int,
+        addr: int,
+        value: int,
+        now: int,
+        pc: int = 0,
+        speculative: bool = False,
+    ) -> int:
+        """Demand store: write-allocate; returns the latency the core pays.
+
+        Functional state goes straight to main memory (write-through
+        functionally, write-back for timing).  Other cores' L1 copies are
+        invalidated (write-invalidate coherence).
+        """
+        l1d = self.l1ds[core_id]
+        latency, level = l1d.access(addr, now, write=True)
+        self.memory.write(addr, value)
+        block_addr = self.amap.block_addr(addr)
+        for other_id, other in enumerate(self.l1ds):
+            if other_id != core_id and other.invalidate_block(block_addr):
+                other.stats.cross_invalidations += 1
+        observation = Observation(
+            op="store",
+            core_id=core_id,
+            pc=pc,
+            addr=addr,
+            block_addr=block_addr,
+            hit=(level == l1d.level_name),
+            now=now,
+            scale=1,
+            speculative=speculative,
+        )
+        self._notify(core_id, observation)
+        if self.config.nonblocking_stores:
+            return 1
+        return latency
+
+    def flush(self, core_id: int, addr: int, now: int) -> int:
+        """clflush: evict the line from every cache level, everywhere."""
+        block_addr = self.amap.block_addr(addr)
+        for l1d in self.l1ds:
+            l1d.flush_block(block_addr)
+        self.l2.flush_block(block_addr)
+        self.l1ds[core_id].stats.flushes += 1
+        return self.config.flush_latency
+
+    # -- structural queries ---------------------------------------------------
+
+    def l1_contains(self, core_id: int, addr: int) -> bool:
+        return self.l1ds[core_id].contains(addr)
+
+    def read_word(self, addr: int) -> int:
+        """Functional read without timing effects (tests/analysis)."""
+        return self.memory.peek(addr)
+
+    # -- inclusive back-invalidation ------------------------------------------
+
+    def _back_invalidate(self, block_addr: int, now: int) -> None:
+        for core_id, l1d in enumerate(self.l1ds):
+            if l1d.invalidate_block(block_addr):
+                l1d.stats.back_invalidations += 1
+                prefetcher = self._prefetchers.get(core_id)
+                if prefetcher is not None:
+                    requests = prefetcher.on_back_invalidation(block_addr, now)
+                    if requests:
+                        self._issue_requests(core_id, now, requests)

@@ -1,0 +1,49 @@
+"""Sparse functional main memory with a flat access latency.
+
+Addresses are opaque 64-bit keys; each address holds one 64-bit word.
+Programs use consistent addresses (the generators emit stride-8 or
+stride-64 layouts), so byte-level aliasing between neighbouring addresses
+is intentionally not modelled.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+
+DEFAULT_MEMORY_LATENCY = 120
+
+
+class MainMemory:
+    """Functional word store plus the DRAM access latency constant."""
+
+    def __init__(self, latency: int = DEFAULT_MEMORY_LATENCY) -> None:
+        self.latency = latency
+        self._words: dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, addr: int) -> int:
+        """Return the word at ``addr`` (0 when never written)."""
+        self.reads += 1
+        return self._words.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        """Store ``value`` at ``addr`` (masked to 64 bits)."""
+        self.writes += 1
+        self._words[addr] = value & ((1 << 64) - 1)
+
+    def peek(self, addr: int) -> int:
+        """Read without counting (tests and analysis)."""
+        return self._words.get(addr, 0)
+
+    def load_program_data(self, program: Program) -> None:
+        """Apply all of a program's initial data segments."""
+        for segment in program.data_segments:
+            for offset, value in enumerate(segment.values):
+                self._words[segment.base + offset * segment.stride] = value & (
+                    (1 << 64) - 1
+                )
+
+    def footprint(self) -> int:
+        """Number of distinct words ever written."""
+        return len(self._words)

@@ -1,0 +1,138 @@
+"""Miss-status handling registers.
+
+The paper's gem5 baseline has 4 MSHRs, each merging up to 20 requests to the
+same line.  Here an MSHR entry is an outstanding fill identified by its block
+address and completion time.  Demand misses that find no free entry *wait*
+for the earliest completion; prefetches that find no free entry are
+*dropped* (gem5 squashes prefetches on full MSHRs the same way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class _Entry:
+    block_addr: int
+    ready_time: int
+    merges: int = 0
+    is_prefetch: bool = False
+
+
+class MSHRFile:
+    """Outstanding-miss bookkeeping for one cache.
+
+    Demand misses and prefetches draw from separate pools (``num_entries``
+    vs ``prefetch_entries``), modelling the dedicated prefetch issue queue
+    real prefetchers ship with; a saturated demand stream therefore cannot
+    permanently starve the defense's prefetches (and vice versa).
+    """
+
+    def __init__(
+        self,
+        num_entries: int = 4,
+        max_merges: int = 20,
+        prefetch_entries: int = 2,
+    ) -> None:
+        self.num_entries = num_entries
+        self.max_merges = max_merges
+        self.prefetch_entries = prefetch_entries
+        self._entries: list[_Entry] = []
+        self.demand_waits = 0
+        self.total_wait_cycles = 0
+        self.merges = 0
+        self.prefetch_drops = 0
+        self.prefetch_squashes = 0
+
+    def _purge(self, now: int) -> None:
+        self._entries = [e for e in self._entries if e.ready_time > now]
+
+    def occupancy(self, now: int) -> int:
+        """Number of fills still outstanding at ``now``."""
+        self._purge(now)
+        return len(self._entries)
+
+    def available(self, now: int) -> bool:
+        """True when a new demand fill could start immediately at ``now``."""
+        self._purge(now)
+        demand = sum(1 for e in self._entries if not e.is_prefetch)
+        return demand < self.num_entries
+
+    def prefetch_available(self, now: int) -> bool:
+        """True when a prefetch slot is free at ``now``."""
+        self._purge(now)
+        inflight = sum(1 for e in self._entries if e.is_prefetch)
+        return inflight < self.prefetch_entries
+
+    def merge(self, block_addr: int, now: int) -> int | None:
+        """Try to merge an access to an in-flight line.
+
+        Returns the outstanding fill's ready time, or ``None`` when no entry
+        covers ``block_addr`` or its merge budget is exhausted.
+        """
+        self._purge(now)
+        for entry in self._entries:
+            if entry.block_addr == block_addr:
+                if entry.merges >= self.max_merges:
+                    return None
+                entry.merges += 1
+                self.merges += 1
+                return entry.ready_time
+        return None
+
+    def allocate_demand(self, block_addr: int, now: int, fill_time: int) -> tuple[int, int]:
+        """Allocate an entry for a demand miss.
+
+        Demand misses have priority: when all entries are busy, an
+        outstanding *prefetch* entry is squashed to make room (gem5's
+        policy); only when every entry is a demand fill does the miss wait
+        for the earliest completion.
+
+        Returns:
+            ``(start_time, ready_time)`` — the fill begins at ``start_time``
+            (>= now) and data arrives at ``ready_time``.
+        """
+        self._purge(now)
+        start_time = now
+        demand_entries = [e for e in self._entries if not e.is_prefetch]
+        if len(demand_entries) >= self.num_entries:
+            earliest = min(entry.ready_time for entry in demand_entries)
+            start_time = max(now, earliest)
+            self.demand_waits += 1
+            self.total_wait_cycles += start_time - now
+            self._purge(start_time)
+        ready_time = start_time + fill_time
+        self._entries.append(_Entry(block_addr=block_addr, ready_time=ready_time))
+        return start_time, ready_time
+
+    def allocate_prefetch_fill(self, block_addr: int, now: int, fill_time: int) -> int:
+        """Book-keep a prefetch-triggered fill at a lower level.
+
+        Capacity was already enforced at the issuing (L1) level, so this
+        never drops or waits; the entry is prefetch-class so it cannot block
+        later demand misses at this level.
+        """
+        self._purge(now)
+        ready_time = now + fill_time
+        self._entries.append(
+            _Entry(block_addr=block_addr, ready_time=ready_time, is_prefetch=True)
+        )
+        return ready_time
+
+    def allocate_prefetch(self, block_addr: int, now: int, fill_time: int) -> int | None:
+        """Allocate an entry for a prefetch, or drop it when full.
+
+        Returns the fill's ready time, or ``None`` when the prefetch was
+        dropped because no MSHR was free.
+        """
+        self._purge(now)
+        inflight = sum(1 for e in self._entries if e.is_prefetch)
+        if inflight >= self.prefetch_entries:
+            self.prefetch_drops += 1
+            return None
+        ready_time = now + fill_time
+        self._entries.append(
+            _Entry(block_addr=block_addr, ready_time=ready_time, is_prefetch=True)
+        )
+        return ready_time

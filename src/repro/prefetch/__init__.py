@@ -1,0 +1,33 @@
+"""Prefetcher interfaces and the baseline prefetchers from the paper.
+
+* :class:`TaggedPrefetcher` — Smith's tagged sequential prefetcher [15].
+* :class:`StridePrefetcher` — Baer/Chen PC-indexed stride prefetcher [16,40].
+* :class:`CompositePrefetcher` — PREFENDER-over-basic composition with
+  PREFENDER priority (paper Sec. V-A).
+* :class:`BITPPrefetcher` / :class:`DisruptivePrefetcher` — related-work
+  models used only for the Table II ablation.
+"""
+
+from repro.prefetch.base import (
+    NullPrefetcher,
+    Observation,
+    Prefetcher,
+    PrefetchRequest,
+)
+from repro.prefetch.tagged import TaggedPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.composite import CompositePrefetcher
+from repro.prefetch.bitp import BITPPrefetcher
+from repro.prefetch.disruptive import DisruptivePrefetcher
+
+__all__ = [
+    "NullPrefetcher",
+    "Observation",
+    "Prefetcher",
+    "PrefetchRequest",
+    "TaggedPrefetcher",
+    "StridePrefetcher",
+    "CompositePrefetcher",
+    "BITPPrefetcher",
+    "DisruptivePrefetcher",
+]

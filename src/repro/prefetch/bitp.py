@@ -1,0 +1,34 @@
+"""BITP (Panda, PACT 2019 — paper ref. [13]) related-work model.
+
+BITP watches cross-core *back-invalidation hits*: when an inclusive LLC
+eviction knocks a line out of a private L1 that still held it, BITP
+prefetches the line straight back.  This defeats cross-core eviction-based
+attackers (their carefully constructed LLC eviction is undone) but does
+nothing for single-core attacks — the contrast row in the paper's Table II
+that our ablation benchmark reproduces.
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
+
+
+class BITPPrefetcher(Prefetcher):
+    """Back-invalidation-triggered prefetcher."""
+
+    name = "bitp"
+
+    def __init__(self) -> None:
+        self.back_invalidation_hits = 0
+
+    def reset(self) -> None:
+        self.back_invalidation_hits = 0
+
+    def observe(
+        self, observation: Observation, l1d_contains: ContainsProbe
+    ) -> list[PrefetchRequest]:
+        return []
+
+    def on_back_invalidation(self, block_addr: int, now: int) -> list[PrefetchRequest]:
+        self.back_invalidation_hits += 1
+        return [PrefetchRequest(addr=block_addr, component=self.name)]

@@ -1,0 +1,37 @@
+"""PREFENDER composed with a basic prefetcher.
+
+The paper runs PREFENDER alongside Tagged or Stride basic prefetchers with
+"the priority of PREFENDER's prefetching higher than basic prefetchers for
+timely defense" (Sec. V-A).  The composite therefore emits PREFENDER's
+requests first; when MSHRs run out, the basic prefetcher's requests are the
+ones that get dropped.
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
+
+
+class CompositePrefetcher(Prefetcher):
+    """Priority composition: ``primary`` requests precede ``secondary``'s."""
+
+    def __init__(self, primary: Prefetcher, secondary: Prefetcher) -> None:
+        self.primary = primary
+        self.secondary = secondary
+        self.name = f"{primary.name}+{secondary.name}"
+
+    def reset(self) -> None:
+        self.primary.reset()
+        self.secondary.reset()
+
+    def observe(
+        self, observation: Observation, l1d_contains: ContainsProbe
+    ) -> list[PrefetchRequest]:
+        requests = list(self.primary.observe(observation, l1d_contains))
+        requests.extend(self.secondary.observe(observation, l1d_contains))
+        return requests
+
+    def on_back_invalidation(self, block_addr: int, now: int) -> list[PrefetchRequest]:
+        requests = list(self.primary.on_back_invalidation(block_addr, now))
+        requests.extend(self.secondary.on_back_invalidation(block_addr, now))
+        return requests

@@ -1,0 +1,13 @@
+"""Simulation front door: configuration dataclasses and system builders."""
+
+from repro.sim.config import PrefetcherSpec, SystemConfig, build_prefetcher
+from repro.sim.simulator import build_system, run_program, run_programs
+
+__all__ = [
+    "PrefetcherSpec",
+    "SystemConfig",
+    "build_prefetcher",
+    "build_system",
+    "run_program",
+    "run_programs",
+]

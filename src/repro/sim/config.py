@@ -1,0 +1,115 @@
+"""System configuration and the prefetcher factory.
+
+``PrefetcherSpec.kind`` names match the paper's evaluation columns:
+
+==================== =========================================================
+``none``             the no-prefetcher Baseline
+``tagged``           Tagged prefetcher [15]
+``stride``           Stride prefetcher [16, 40]
+``prefender``        PREFENDER alone (variant set by ``prefender`` config)
+``prefender+tagged`` PREFENDER with a Tagged basic prefetcher (PREFENDER
+                     priority, paper Sec. V-A)
+``prefender+stride`` PREFENDER with a Stride basic prefetcher
+``bitp``             related-work model for the Table II ablation
+``disruptive``       related-work model for the Table II ablation
+==================== =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import PrefenderConfig
+from repro.core.prefender import Prefender
+from repro.cpu.core import CoreConfig
+from repro.errors import ConfigError
+from repro.mem.hierarchy import HierarchyConfig
+from repro.prefetch.base import NullPrefetcher, Prefetcher
+from repro.prefetch.bitp import BITPPrefetcher
+from repro.prefetch.composite import CompositePrefetcher
+from repro.prefetch.disruptive import DisruptivePrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.tagged import TaggedPrefetcher
+from repro.utils.addr import AddressMap
+
+PREFETCHER_KINDS = (
+    "none",
+    "tagged",
+    "stride",
+    "prefender",
+    "prefender+tagged",
+    "prefender+stride",
+    "bitp",
+    "disruptive",
+)
+
+
+@dataclass(frozen=True)
+class PrefetcherSpec:
+    """Which prefetcher each core's L1D gets."""
+
+    kind: str = "none"
+    prefender: PrefenderConfig = field(default_factory=PrefenderConfig)
+
+    def __post_init__(self) -> None:
+        if self.kind not in PREFETCHER_KINDS:
+            raise ConfigError(
+                f"unknown prefetcher kind {self.kind!r}; "
+                f"choose from {PREFETCHER_KINDS}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Human-readable label matching the paper's table headers."""
+        if self.kind == "none":
+            return "Baseline"
+        if self.kind == "tagged":
+            return "Tagged"
+        if self.kind == "stride":
+            return "Stride"
+        if self.kind == "prefender":
+            return self.prefender.variant_name
+        if self.kind.startswith("prefender+"):
+            basic = self.kind.split("+", 1)[1].capitalize()
+            return f"{self.prefender.variant_name} ({basic})"
+        return self.kind
+
+
+def build_prefetcher(spec: PrefetcherSpec, amap: AddressMap) -> Prefetcher:
+    """Instantiate the prefetcher described by ``spec``."""
+    if spec.kind == "none":
+        return NullPrefetcher()
+    if spec.kind == "tagged":
+        return TaggedPrefetcher(amap, degree=2)
+    if spec.kind == "stride":
+        return StridePrefetcher(amap)
+    if spec.kind == "prefender":
+        return Prefender(spec.prefender, amap)
+    if spec.kind == "prefender+tagged":
+        return CompositePrefetcher(
+            Prefender(spec.prefender, amap), TaggedPrefetcher(amap, degree=2)
+        )
+    if spec.kind == "prefender+stride":
+        return CompositePrefetcher(
+            Prefender(spec.prefender, amap), StridePrefetcher(amap)
+        )
+    if spec.kind == "bitp":
+        return BITPPrefetcher()
+    if spec.kind == "disruptive":
+        return DisruptivePrefetcher(amap)
+    raise ConfigError(f"unknown prefetcher kind {spec.kind!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build a system around a set of programs."""
+
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    core: CoreConfig = field(default_factory=CoreConfig)
+    prefetcher: PrefetcherSpec = field(default_factory=PrefetcherSpec)
+    num_cores: int = 1
+    block_size: int = 64
+    page_size: int = 4096
+
+    def address_map(self) -> AddressMap:
+        return AddressMap(block_size=self.block_size, page_size=self.page_size)

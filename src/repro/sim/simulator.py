@@ -1,0 +1,58 @@
+"""Build-and-run helpers used by examples, tests and experiments."""
+
+from __future__ import annotations
+
+from repro.cpu.system import RunResult, System
+from repro.errors import ConfigError
+from repro.isa.program import Program
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.sim.config import SystemConfig, build_prefetcher
+
+
+def build_system(programs: list[Program], config: SystemConfig | None = None) -> System:
+    """Construct a ready-to-run :class:`System` for ``programs``.
+
+    One program per core; the configured prefetcher is instantiated
+    independently for every core's L1D (per Fig. 2, PREFENDER lives in each
+    L1D).
+    """
+    config = config or SystemConfig()
+    if config.num_cores != len(programs):
+        raise ConfigError(
+            f"config.num_cores={config.num_cores} but {len(programs)} "
+            "program(s) supplied"
+        )
+    amap = config.address_map()
+    hierarchy = MemoryHierarchy(
+        num_cores=config.num_cores, config=config.hierarchy, amap=amap
+    )
+    for core_id in range(config.num_cores):
+        hierarchy.attach_prefetcher(
+            core_id, build_prefetcher(config.prefetcher, amap)
+        )
+    return System(programs, hierarchy, config.core)
+
+
+def run_program(
+    program: Program,
+    config: SystemConfig | None = None,
+    max_steps: int = 20_000_000,
+    sample_interval: int | None = None,
+) -> RunResult:
+    """Run a single-core program to halt and return its statistics."""
+    config = config or SystemConfig()
+    if config.num_cores != 1:
+        raise ConfigError("run_program is single-core; use run_programs")
+    system = build_system([program], config)
+    return system.run(max_steps=max_steps, sample_interval=sample_interval)
+
+
+def run_programs(
+    programs: list[Program],
+    config: SystemConfig,
+    max_steps: int = 20_000_000,
+    sample_interval: int | None = None,
+) -> RunResult:
+    """Run one program per core to halt and return combined statistics."""
+    system = build_system(programs, config)
+    return system.run(max_steps=max_steps, sample_interval=sample_interval)

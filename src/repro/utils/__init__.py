@@ -1,0 +1,13 @@
+"""Small shared utilities: address math, LRU tracking, text rendering."""
+
+from repro.utils.addr import AddressMap
+from repro.utils.lru import LRUTracker
+from repro.utils.tables import render_table
+from repro.utils.textplot import ascii_series
+
+__all__ = [
+    "AddressMap",
+    "LRUTracker",
+    "render_table",
+    "ascii_series",
+]

@@ -1,0 +1,94 @@
+"""Address arithmetic shared by caches, prefetchers and attacks.
+
+All addresses in the simulator are flat physical byte addresses held in
+Python ints.  An :class:`AddressMap` captures the two granularities that
+matter to PREFENDER: the cacheline (block) size and the page size, and
+provides the derived helpers (block/page alignment, set index extraction)
+used throughout the memory system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Byte-address geometry: block and page sizes (both powers of two).
+
+    Args:
+        block_size: cacheline size in bytes (default 64, as in the paper).
+        page_size: page size in bytes (default 4096).
+    """
+
+    block_size: int = 64
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.block_size):
+            raise ConfigError(f"block_size must be a power of two: {self.block_size}")
+        if not _is_power_of_two(self.page_size):
+            raise ConfigError(f"page_size must be a power of two: {self.page_size}")
+        if self.page_size < self.block_size:
+            raise ConfigError("page_size must be >= block_size")
+
+    @property
+    def block_bits(self) -> int:
+        """Number of byte-offset bits within a block."""
+        return self.block_size.bit_length() - 1
+
+    @property
+    def page_bits(self) -> int:
+        """Number of byte-offset bits within a page."""
+        return self.page_size.bit_length() - 1
+
+    def block_addr(self, addr: int) -> int:
+        """Return ``addr`` rounded down to its block base."""
+        return addr & ~(self.block_size - 1)
+
+    def block_offset(self, addr: int) -> int:
+        """Return the byte offset of ``addr`` within its block."""
+        return addr & (self.block_size - 1)
+
+    def block_index(self, addr: int) -> int:
+        """Return the block number (block address shifted right)."""
+        return addr >> self.block_bits
+
+    def page_addr(self, addr: int) -> int:
+        """Return ``addr`` rounded down to its page base."""
+        return addr & ~(self.page_size - 1)
+
+    def page_offset(self, addr: int) -> int:
+        """Return the byte offset of ``addr`` within its page."""
+        return addr & (self.page_size - 1)
+
+    def same_page(self, a: int, b: int) -> bool:
+        """True when both addresses fall in the same page."""
+        return self.page_addr(a) == self.page_addr(b)
+
+    def same_block(self, a: int, b: int) -> bool:
+        """True when both addresses fall in the same cacheline."""
+        return self.block_addr(a) == self.block_addr(b)
+
+    def set_index(self, addr: int, num_sets: int) -> int:
+        """Cache set index for ``addr`` in a cache with ``num_sets`` sets."""
+        if not _is_power_of_two(num_sets):
+            raise ConfigError(f"num_sets must be a power of two: {num_sets}")
+        return (addr >> self.block_bits) & (num_sets - 1)
+
+    def blocks_in_range(self, base: int, length: int) -> list[int]:
+        """Block addresses covering ``[base, base + length)``."""
+        if length <= 0:
+            return []
+        first = self.block_addr(base)
+        last = self.block_addr(base + length - 1)
+        return list(range(first, last + 1, self.block_size))
+
+
+DEFAULT_ADDRESS_MAP = AddressMap()

@@ -1,0 +1,54 @@
+"""A tiny true-LRU recency tracker.
+
+Used by cache sets, access buffers (paper Sec. IV-C) and the scale buffer
+(paper Sec. IV-D).  Keys are arbitrary hashables; the tracker orders them by
+recency of ``touch`` and answers "which is least recent", optionally
+restricted to a candidate subset (the Record Protector only allows LRU
+replacement among *unprotected* access buffers).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+
+class LRUTracker:
+    """Orders keys by recency; lowest recency counter is least recent."""
+
+    def __init__(self) -> None:
+        self._clock = 0
+        self._stamp: dict[Hashable, int] = {}
+
+    def touch(self, key: Hashable) -> None:
+        """Mark ``key`` as most recently used."""
+        self._clock += 1
+        self._stamp[key] = self._clock
+
+    def forget(self, key: Hashable) -> None:
+        """Drop ``key`` from the tracker (no-op if absent)."""
+        self._stamp.pop(key, None)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._stamp
+
+    def __len__(self) -> int:
+        return len(self._stamp)
+
+    def victim(self, candidates: Iterable[Hashable] | None = None) -> Hashable:
+        """Return the least recently used key.
+
+        Args:
+            candidates: if given, only these keys are considered.  Keys never
+                touched rank older than any touched key (stamp 0).
+
+        Raises:
+            ValueError: when there are no candidates at all.
+        """
+        pool = list(candidates) if candidates is not None else list(self._stamp)
+        if not pool:
+            raise ValueError("no candidates for LRU victim selection")
+        return min(pool, key=lambda key: self._stamp.get(key, 0))
+
+    def stamps(self) -> dict[Hashable, int]:
+        """Snapshot of the recency stamps (for tests/debugging)."""
+        return dict(self._stamp)

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints every reproduced paper table as aligned text so
+the rows can be compared against the paper directly in the terminal and in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _format_cell(value: object, float_format: str) -> str:
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:+.3%}",
+) -> str:
+    """Render an aligned text table.
+
+    Args:
+        headers: column names.
+        rows: row cells; floats are rendered with ``float_format``.
+        title: optional title line printed above the table.
+        float_format: format spec applied to float cells (default is the
+            signed-percentage style the paper's tables use).
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    text_rows = [[_format_cell(cell, float_format) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        padded = []
+        for col, cell in enumerate(cells):
+            if col == 0:
+                padded.append(cell.ljust(widths[col]))
+            else:
+                padded.append(cell.rjust(widths[col]))
+        return "  ".join(padded)
+
+    separator = "  ".join("-" * width for width in widths)
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)

@@ -1,0 +1,83 @@
+"""ASCII series plotting for figure reproduction.
+
+The paper's figures are latency-vs-index and count-vs-time curves; we render
+them as compact text charts so ``pytest benchmarks/`` output is self
+contained (no matplotlib dependency, works offline).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def ascii_series(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 72,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series over a shared x-axis as an ASCII chart.
+
+    Args:
+        xs: x coordinates (monotonic).
+        series: mapping from series name to y values (same length as ``xs``).
+        height: chart rows.
+        width: chart columns.
+        title: optional title line.
+        y_label: label printed next to the y axis.
+
+    Returns:
+        Multi-line chart string.  Each series is drawn with the first letter
+        of its name; collisions are drawn as ``*``.
+    """
+    if not xs:
+        return title or "(empty series)"
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length {len(ys)} != x length {len(xs)}")
+
+    all_ys = [y for ys in series.values() for y in ys]
+    y_min = min(all_ys)
+    y_max = max(all_ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min = float(xs[0])
+    x_max = float(xs[-1])
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, ys in series.items():
+        marker = name[0] if name else "*"
+        for x, y in zip(xs, ys):
+            col = int((float(x) - x_min) / (x_max - x_min) * (width - 1))
+            row = int((float(y) - y_min) / (y_max - y_min) * (height - 1))
+            row = height - 1 - row
+            current = grid[row][col]
+            grid[row][col] = marker if current in (" ", marker) else "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:>10.1f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_min:>10.1f} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_min:<.0f}".ljust(width // 2) + f"{x_max:>.0f}")
+    legend = "  ".join(f"{name[0] if name else '*'}={name}" for name in series)
+    lines.append(" " * 12 + legend + (f"  [{y_label}]" if y_label else ""))
+    return "\n".join(lines)
+
+
+def histogram_line(counts: Mapping[str, int], width: int = 50) -> str:
+    """One-line-per-key log-ish bar chart for count comparisons (Fig. 11)."""
+    if not counts:
+        return "(no counts)"
+    peak = max(max(counts.values()), 1)
+    lines = []
+    for name, count in counts.items():
+        bar = "#" * max(1 if count else 0, int(count / peak * width))
+        lines.append(f"{name:>24} {count:>10} {bar}")
+    return "\n".join(lines)

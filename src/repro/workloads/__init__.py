@@ -1,0 +1,25 @@
+"""Synthetic SPEC-like workloads.
+
+SPEC CPU 2006/2017 binaries are proprietary; the paper's performance tables
+report *relative speedups by prefetcher configuration*, which are functions
+of each benchmark's dominant memory-access pattern.  Each model here is an
+ISA program reproducing that pattern class (streaming, strided-sparse,
+pointer-chasing, random lookups, compute-only, ...), so the reproduction
+target is the table's *shape* — who gains, who loses slightly, who is flat —
+not gem5's absolute percentages (see DESIGN.md substitutions).
+"""
+
+from repro.workloads.base import Workload, get_workload, workload_names
+from repro.workloads import spec2006, spec2017
+from repro.workloads.base import REGISTRY
+
+SPEC2006_NAMES = [w.name for w in REGISTRY.values() if w.suite == "spec2006"]
+SPEC2017_NAMES = [w.name for w in REGISTRY.values() if w.suite == "spec2017"]
+
+__all__ = [
+    "Workload",
+    "get_workload",
+    "workload_names",
+    "SPEC2006_NAMES",
+    "SPEC2017_NAMES",
+]

@@ -1,0 +1,271 @@
+"""Memory-access kernels the workload models are composed from.
+
+Every kernel emits a self-contained loop (fresh labels, re-initialised
+registers r1-r9), so models can chain kernels sequentially.  The kernels
+differ in exactly the property the prefetchers key on:
+
+=================  ========================================================
+kernel             prefetcher interaction
+=================  ========================================================
+stream             sequential lines: Tagged/Stride/AT all stream ahead
+blocked_copy       load+store streams (write-allocate traffic included)
+stride2d           constant large stride per iteration: Stride shines
+pointer_chase      data-dependent addresses: nothing helps
+random_access      LCG-generated addresses: prefetchers fetch junk
+                   (with a >64B element stride this is what drags
+                   sjeng/deepsjeng slightly below baseline)
+indirect_scaled    index loaded from memory then scaled: the register is
+                   ``NA`` with a large scale under Table III, so the Scale
+                   Tracker prefetches the next element — the parest-style
+                   big win
+stencil            3-point neighbourhood sweep: next-line friendly
+hash_lookup        hash mixes via xor (Table III "otherwise"): no ST, and
+                   table hits are effectively random
+compute            ALU only: memory system untouched
+=================  ========================================================
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+
+
+def emit_stream(
+    builder: ProgramBuilder, base: int, count: int, stride: int = 8
+) -> None:
+    """Sequential read sweep: ``count`` loads at ``base + i*stride``."""
+    loop = builder.fresh_label("stream")
+    builder.li("r1", base)
+    builder.li("r2", 0)
+    builder.li("r3", count)
+    builder.label(loop)
+    builder.mul("r4", "r2", stride)
+    builder.add("r5", "r1", "r4")
+    builder.load("r6", 0, "r5")
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", loop)
+
+
+def emit_blocked_copy(
+    builder: ProgramBuilder, src: int, dst: int, count: int, stride: int = 8
+) -> None:
+    """Streaming copy: read ``src + i*stride``, write ``dst + i*stride``."""
+    loop = builder.fresh_label("copy")
+    builder.li("r1", src)
+    builder.li("r7", dst)
+    builder.li("r2", 0)
+    builder.li("r3", count)
+    builder.label(loop)
+    builder.mul("r4", "r2", stride)
+    builder.add("r5", "r1", "r4")
+    builder.load("r6", 0, "r5")
+    builder.add("r8", "r7", "r4")
+    builder.store("r6", 0, "r8")
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", loop)
+
+
+def emit_stride2d(
+    builder: ProgramBuilder,
+    base: int,
+    rows: int,
+    cols: int,
+    row_stride: int,
+    elem_stride: int = 8,
+) -> None:
+    """Row-major 2D sweep: inner loop sequential, outer loop strided."""
+    outer = builder.fresh_label("row")
+    inner = builder.fresh_label("col")
+    builder.li("r1", base)
+    builder.li("r2", 0)
+    builder.li("r3", rows)
+    builder.label(outer)
+    builder.mul("r4", "r2", row_stride)
+    builder.add("r5", "r1", "r4")
+    builder.li("r7", 0)
+    builder.li("r8", cols)
+    builder.label(inner)
+    builder.mul("r9", "r7", elem_stride)
+    builder.add("r9", "r5", "r9")
+    builder.load("r6", 0, "r9")
+    builder.add("r7", "r7", 1)
+    builder.blt("r7", "r8", inner)
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", outer)
+
+
+def emit_pointer_chase(builder: ProgramBuilder, base: int, steps: int) -> None:
+    """Dependent chain: ``node = mem[node]`` — prefetcher-proof.
+
+    The chain data segment must be prepared with
+    :func:`pointer_chain_segment`.
+    """
+    loop = builder.fresh_label("chase")
+    builder.li("r5", base)
+    builder.li("r2", 0)
+    builder.li("r3", steps)
+    builder.label(loop)
+    builder.load("r5", 0, "r5")
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", loop)
+
+
+def pointer_chain_addresses(
+    base: int,
+    nodes: int,
+    stride: int = 512,
+    seed: int = 0x5EED,
+    jitter_blocks: int = 7,
+) -> list[tuple[int, int]]:
+    """Build a full-cycle shuffled, jittered pointer chain.
+
+    Returns ``(node_addr, next_addr)`` pairs.  A genuine Fisher-Yates
+    shuffle (seeded, deterministic) removes any constant address stride,
+    and per-node placement jitter (0..jitter_blocks cachelines) breaks the
+    alignment lattice — without it, every node would sit on a multiple of
+    ``stride`` and a stride-guessing prefetcher's "junk" would land on
+    valid nodes, accidentally pre-loading the chain.
+    """
+    import random
+
+    rng = random.Random(seed)
+    addresses = [
+        base + i * stride + rng.randrange(jitter_blocks + 1) * 64
+        for i in range(nodes)
+    ]
+    order = list(range(nodes))
+    rng.shuffle(order)
+    pairs = []
+    for position in range(nodes):
+        src = order[position]
+        dst = order[(position + 1) % nodes]
+        pairs.append((addresses[src], addresses[dst]))
+    return pairs
+
+
+def emit_random_access(
+    builder: ProgramBuilder,
+    base: int,
+    lines_pow2: int,
+    iters: int,
+    stride: int = 0x200,
+) -> None:
+    """LCG-generated random loads over ``lines_pow2`` slots.
+
+    The LCG state passes through an ``and`` (Table III "otherwise" rule), so
+    the address register carries scale ``stride`` with ``fva = NA`` — with a
+    >cacheline stride the Scale Tracker fires on *useless* candidates, which
+    is exactly how random-lookup benchmarks (sjeng) end up slightly below
+    baseline under PREFENDER.
+    """
+    loop = builder.fresh_label("rand")
+    builder.li("r1", base)
+    builder.li("r7", 12345)
+    builder.li("r2", 0)
+    builder.li("r3", iters)
+    builder.label(loop)
+    builder.mul("r7", "r7", 1103515245)
+    builder.add("r7", "r7", 12345)
+    builder.srl("r8", "r7", 16)
+    builder.and_("r8", "r8", lines_pow2 - 1)
+    builder.mul("r4", "r8", stride)
+    builder.add("r5", "r1", "r4")
+    builder.load("r6", 0, "r5")
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", loop)
+
+
+def emit_indirect_scaled(
+    builder: ProgramBuilder,
+    idx_base: int,
+    data_base: int,
+    count: int,
+    scale: int,
+) -> None:
+    """Index-array-driven strided sweep (sparse-solver row access).
+
+    ``idx = mem[idx_base + i*8]; load data_base + idx*scale``.  The index
+    register is ``NA`` (loaded from memory) and the multiply gives it scale
+    ``scale``: when ``cacheline < scale < page`` the Scale Tracker prefetches
+    ``addr ± scale`` — the next row — every iteration.  This is the
+    510.parest_r pattern behind the paper's largest speedup.
+    """
+    loop = builder.fresh_label("indir")
+    builder.li("r1", data_base)
+    builder.li("r7", idx_base)
+    builder.li("r2", 0)
+    builder.li("r3", count)
+    builder.label(loop)
+    builder.mul("r4", "r2", 8)
+    builder.add("r4", "r7", "r4")
+    builder.load("r8", 0, "r4")  # idx from memory: NA
+    builder.mul("r4", "r8", scale)
+    builder.add("r5", "r1", "r4")
+    builder.load("r6", 0, "r5")  # Scale Tracker fires here
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", loop)
+
+
+def emit_stencil(
+    builder: ProgramBuilder, base: int, count: int, stride: int = 8
+) -> None:
+    """3-point stencil sweep: a[i-1] + a[i] + a[i+1]."""
+    loop = builder.fresh_label("sten")
+    builder.li("r1", base + stride)
+    builder.li("r2", 0)
+    builder.li("r3", count)
+    builder.label(loop)
+    builder.mul("r4", "r2", stride)
+    builder.add("r5", "r1", "r4")
+    builder.load("r6", -stride, "r5")
+    builder.load("r7", 0, "r5")
+    builder.load("r8", stride, "r5")
+    builder.add("r6", "r6", "r7")
+    builder.add("r6", "r6", "r8")
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", loop)
+
+
+def emit_hash_lookup(
+    builder: ProgramBuilder,
+    key_base: int,
+    table_base: int,
+    keys: int,
+    table_lines_pow2: int,
+) -> None:
+    """Hash-table probing: key stream + xor-mixed random table hits."""
+    loop = builder.fresh_label("hash")
+    builder.li("r1", table_base)
+    builder.li("r7", key_base)
+    builder.li("r2", 0)
+    builder.li("r3", keys)
+    builder.label(loop)
+    builder.mul("r4", "r2", 8)
+    builder.add("r4", "r7", "r4")
+    builder.load("r8", 0, "r4")  # key (sequential stream)
+    builder.mul("r8", "r8", 2654435761)
+    builder.srl("r9", "r8", 12)
+    builder.xor("r8", "r8", "r9")
+    builder.and_("r8", "r8", table_lines_pow2 - 1)
+    builder.mul("r4", "r8", 64)
+    builder.add("r5", "r1", "r4")
+    builder.load("r6", 0, "r5")  # table probe (random line)
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", loop)
+
+
+def emit_compute(builder: ProgramBuilder, iters: int) -> None:
+    """ALU-only loop: integer mixing with no memory traffic."""
+    loop = builder.fresh_label("alu")
+    builder.li("r5", 0x9E3779B9)
+    builder.li("r6", 0x85EBCA6B)
+    builder.li("r2", 0)
+    builder.li("r3", iters)
+    builder.label(loop)
+    builder.mul("r5", "r5", 31)
+    builder.add("r5", "r5", "r6")
+    builder.srl("r7", "r5", 13)
+    builder.xor("r5", "r5", "r7")
+    builder.add("r6", "r6", 1)
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", loop)

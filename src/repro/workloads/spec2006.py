@@ -1,0 +1,206 @@
+"""SPEC CPU 2006 benchmark models (the 12 benchmarks of Tables IV/V).
+
+Region map (all workloads are single-core; regions never overlap)::
+
+    0x1000_0000  stream arrays        0x1500_0000  indirect data
+    0x1100_0000  copy source          0x1600_0000  stencil array
+    0x1180_0000  copy destination     0x1700_0000  hash keys
+    0x1200_0000  pointer chain        0x1800_0000  hash table
+    0x1300_0000  random-access table  0x1400_0000  indirect index array
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import Workload, register
+from repro.workloads.kernels import (
+    emit_blocked_copy,
+    emit_compute,
+    emit_hash_lookup,
+    emit_indirect_scaled,
+    emit_pointer_chase,
+    emit_random_access,
+    emit_stencil,
+    emit_stream,
+    emit_stride2d,
+    pointer_chain_addresses,
+)
+
+STREAM = 0x1000_0000
+COPY_SRC = 0x1100_0000
+COPY_DST = 0x1180_0000
+CHASE = 0x1200_0000
+RAND = 0x1300_0000
+IDX = 0x1400_0000
+DATA = 0x1500_0000
+STENCIL = 0x1600_0000
+KEYS = 0x1700_0000
+TABLE = 0x1800_0000
+
+
+def _n(base_count: int, scale: float) -> int:
+    return max(8, int(base_count * scale))
+
+
+def _add_chase_chain(
+    builder: ProgramBuilder, nodes: int, stride: int = 512
+) -> int:
+    """Sparse, jittered chain: junk prefetches land between nodes."""
+    pairs = pointer_chain_addresses(CHASE, nodes, stride=stride)
+    for node_addr, next_addr in pairs:
+        builder.data(node_addr, [next_addr])
+    return pairs[0][0]
+
+
+def _add_index_array(builder: ProgramBuilder, count: int, gaps: list[int]) -> None:
+    """Index array with the given repeating gap pattern (parest-style)."""
+    indices = []
+    current = 0
+    for i in range(count):
+        indices.append(current)
+        current += gaps[i % len(gaps)]
+    builder.data(IDX, indices)
+
+
+def _perlbench(scale: float) -> Program:
+    builder = ProgramBuilder("400.perlbench")
+    builder.data(KEYS, list(range(_n(900, scale))))
+    emit_hash_lookup(builder, KEYS, TABLE, _n(900, scale), 1024)
+    emit_stream(builder, STREAM, _n(500, scale))
+    emit_compute(builder, _n(6000, scale))
+    builder.halt()
+    return builder.build()
+
+
+def _bzip2(scale: float) -> Program:
+    builder = ProgramBuilder("401.bzip2")
+    emit_blocked_copy(builder, COPY_SRC, COPY_DST, _n(900, scale), stride=16)
+    emit_stream(builder, STREAM, _n(600, scale), stride=8)
+    emit_compute(builder, _n(7000, scale))
+    builder.halt()
+    return builder.build()
+
+
+def _mcf(scale: float) -> Program:
+    builder = ProgramBuilder("429.mcf")
+    head = _add_chase_chain(builder, 6000)
+    _add_index_array(builder, _n(2000, scale), [1])
+    emit_pointer_chase(builder, head, _n(900, scale))
+    emit_indirect_scaled(builder, IDX, DATA, _n(2000, scale), 0x200)
+    # Arc-array sweep with a constant 320B stride: steady for the Stride
+    # prefetcher (mcf is its best case in the paper), skips blocks so the
+    # next-line Tagged prefetcher gains less.
+    emit_stride2d(builder, STREAM, rows=_n(900, scale), cols=1, row_stride=0x140)
+    builder.halt()
+    return builder.build()
+
+
+def _gobmk(scale: float) -> Program:
+    builder = ProgramBuilder("445.gobmk")
+    emit_compute(builder, _n(4500, scale))
+    emit_random_access(builder, RAND, 8192, _n(600, scale), stride=64)
+    emit_stream(builder, STREAM, _n(400, scale))
+    builder.halt()
+    return builder.build()
+
+
+def _hmmer(scale: float) -> Program:
+    builder = ProgramBuilder("456.hmmer")
+    emit_stride2d(
+        builder, STREAM, rows=_n(40, scale), cols=40, row_stride=0x400
+    )
+    emit_stream(builder, COPY_SRC, _n(500, scale))
+    emit_compute(builder, _n(3500, scale))
+    builder.halt()
+    return builder.build()
+
+
+def _sjeng(scale: float) -> Program:
+    builder = ProgramBuilder("458.sjeng")
+    emit_random_access(builder, RAND, 65536, _n(2000, scale), stride=0x200)
+    emit_compute(builder, _n(900, scale))
+    builder.halt()
+    return builder.build()
+
+
+def _libquantum(scale: float) -> Program:
+    builder = ProgramBuilder("462.libquantum")
+    # Two passes over a >L1 array: steady streaming misses both times.
+    emit_stream(builder, STREAM, _n(4000, scale), stride=8)
+    emit_stream(builder, STREAM, _n(4000, scale), stride=8)
+    emit_compute(builder, _n(2500, scale))
+    builder.halt()
+    return builder.build()
+
+
+def _h264ref(scale: float) -> Program:
+    builder = ProgramBuilder("464.h264ref")
+    emit_stride2d(
+        builder, STREAM, rows=_n(20, scale), cols=32, row_stride=0x800
+    )
+    emit_blocked_copy(builder, COPY_SRC, COPY_DST, _n(500, scale))
+    emit_compute(builder, _n(5500, scale))
+    builder.halt()
+    return builder.build()
+
+
+def _omnetpp(scale: float) -> Program:
+    builder = ProgramBuilder("471.omnetpp")
+    head = _add_chase_chain(builder, 3000)
+    builder.data(KEYS, list(range(_n(500, scale))))
+    emit_pointer_chase(builder, head, _n(2000, scale))
+    emit_hash_lookup(builder, KEYS, TABLE, _n(500, scale), 512)
+    emit_compute(builder, _n(2500, scale))
+    builder.halt()
+    return builder.build()
+
+
+def _astar(scale: float) -> Program:
+    builder = ProgramBuilder("473.astar")
+    head = _add_chase_chain(builder, 1500)
+    emit_pointer_chase(builder, head, _n(1200, scale))
+    emit_random_access(builder, RAND, 8192, _n(500, scale), stride=64)
+    emit_stream(builder, STREAM, _n(400, scale))
+    emit_compute(builder, _n(3000, scale))
+    builder.halt()
+    return builder.build()
+
+
+def _xalancbmk(scale: float) -> Program:
+    builder = ProgramBuilder("483.xalancbmk")
+    builder.data(KEYS, list(range(_n(1200, scale))))
+    emit_hash_lookup(builder, KEYS, TABLE, _n(1200, scale), 2048)
+    emit_stream(builder, STREAM, _n(1500, scale))
+    emit_blocked_copy(builder, COPY_SRC, COPY_DST, _n(500, scale))
+    emit_compute(builder, _n(3000, scale))
+    builder.halt()
+    return builder.build()
+
+
+def _specrand(scale: float) -> Program:
+    builder = ProgramBuilder("999.specrand")
+    emit_compute(builder, _n(5000, scale))
+    builder.halt()
+    return builder.build()
+
+
+_MODELS = [
+    ("400.perlbench", "hash-table probing + string scan", _perlbench),
+    ("401.bzip2", "block-sorting: streaming copy + sweep", _bzip2),
+    ("429.mcf", "pointer chasing + sparse strided arcs", _mcf),
+    ("445.gobmk", "branchy compute + small-table lookups", _gobmk),
+    ("456.hmmer", "regular 2D profile sweep", _hmmer),
+    ("458.sjeng", "random transposition-table lookups", _sjeng),
+    ("462.libquantum", "long sequential gate sweeps", _libquantum),
+    ("464.h264ref", "2D block motion search + copies", _h264ref),
+    ("471.omnetpp", "event-queue pointer chasing", _omnetpp),
+    ("473.astar", "graph traversal + open-list lookups", _astar),
+    ("483.xalancbmk", "DOM hash probing + text streaming", _xalancbmk),
+    ("999.specrand", "PRNG compute, negligible memory", _specrand),
+]
+
+for _name, _pattern, _builder in _MODELS:
+    register(
+        Workload(name=_name, suite="spec2006", pattern=_pattern, builder=_builder)
+    )

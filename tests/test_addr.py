@@ -1,0 +1,84 @@
+"""Address-map arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.addr import AddressMap
+
+
+@pytest.fixture
+def amap():
+    return AddressMap()
+
+
+def test_defaults(amap):
+    assert amap.block_size == 64
+    assert amap.page_size == 4096
+    assert amap.block_bits == 6
+    assert amap.page_bits == 12
+
+
+def test_block_addr(amap):
+    assert amap.block_addr(0) == 0
+    assert amap.block_addr(63) == 0
+    assert amap.block_addr(64) == 64
+    assert amap.block_addr(0x12345) == 0x12340
+
+
+def test_block_offset(amap):
+    assert amap.block_offset(0x12345) == 5
+    assert amap.block_offset(64) == 0
+
+
+def test_block_index(amap):
+    assert amap.block_index(0) == 0
+    assert amap.block_index(128) == 2
+
+
+def test_page_addr(amap):
+    assert amap.page_addr(0x1FFF) == 0x1000
+    assert amap.page_offset(0x1FFF) == 0xFFF
+
+
+def test_same_page(amap):
+    assert amap.same_page(0x1000, 0x1FFF)
+    assert not amap.same_page(0x1000, 0x2000)
+
+
+def test_same_block(amap):
+    assert amap.same_block(0x40, 0x7F)
+    assert not amap.same_block(0x40, 0x80)
+
+
+def test_set_index(amap):
+    assert amap.set_index(0, 512) == 0
+    assert amap.set_index(64, 512) == 1
+    assert amap.set_index(512 * 64, 512) == 0  # wraps at the set span
+
+
+def test_set_index_rejects_non_power_of_two(amap):
+    with pytest.raises(ConfigError):
+        amap.set_index(0, 100)
+
+
+def test_blocks_in_range(amap):
+    assert amap.blocks_in_range(0, 1) == [0]
+    assert amap.blocks_in_range(60, 8) == [0, 64]
+    assert amap.blocks_in_range(0, 129) == [0, 64, 128]
+    assert amap.blocks_in_range(0, 0) == []
+
+
+def test_invalid_geometry():
+    with pytest.raises(ConfigError):
+        AddressMap(block_size=100)
+    with pytest.raises(ConfigError):
+        AddressMap(page_size=1000)
+    with pytest.raises(ConfigError):
+        AddressMap(block_size=128, page_size=64)
+
+
+def test_custom_geometry():
+    amap = AddressMap(block_size=128, page_size=8192)
+    assert amap.block_bits == 7
+    assert amap.block_addr(130) == 128
+    assert amap.same_page(0, 8191)

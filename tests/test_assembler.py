@@ -1,0 +1,159 @@
+"""Two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+
+
+def test_minimal_program():
+    program = assemble("halt")
+    assert len(program) == 1
+    assert program.instructions[0].op == "halt"
+    assert program.finalized
+
+
+def test_comments_and_blank_lines():
+    program = assemble(
+        """
+        # full-line comment
+        nop  ; trailing comment
+        nop  # another
+        halt
+        """
+    )
+    assert len(program) == 3
+
+
+def test_labels_resolve_to_indices():
+    program = assemble(
+        """
+        li r1, 3
+        loop:
+        sub r1, r1, 1
+        bne r1, zero, loop
+        halt
+        """
+    )
+    branch = program.instructions[2]
+    assert branch.target == 1  # index of the sub
+
+
+def test_forward_label():
+    program = assemble(
+        """
+        jmp end
+        nop
+        end:
+        halt
+        """
+    )
+    assert program.instructions[0].target == 2
+
+
+def test_undefined_label():
+    with pytest.raises(AssemblyError, match="undefined label"):
+        assemble("jmp nowhere\nhalt")
+
+
+def test_duplicate_label():
+    with pytest.raises(AssemblyError, match="duplicate"):
+        assemble("x:\nnop\nx:\nhalt")
+
+
+def test_equ_constants():
+    program = assemble(
+        """
+        .equ BASE 0x1000
+        li r1, BASE
+        halt
+        """
+    )
+    assert program.instructions[0].imm == 0x1000
+
+
+def test_data_directive():
+    program = assemble(".data 0x100 stride=16 1 2 0xff\nhalt")
+    segment = program.data_segments[0]
+    assert segment.base == 0x100
+    assert segment.stride == 16
+    assert segment.values == (1, 2, 0xFF)
+
+
+def test_fill_directive():
+    program = assemble(".fill 0x200 count=4 stride=64 value=9\nhalt")
+    segment = program.data_segments[0]
+    assert segment.values == (9, 9, 9, 9)
+    assert segment.addresses() == [0x200, 0x240, 0x280, 0x2C0]
+
+
+def test_fill_requires_count():
+    with pytest.raises(AssemblyError, match="count"):
+        assemble(".fill 0x200 value=1\nhalt")
+
+
+def test_load_offset_forms():
+    program = assemble("load r1, 8(r2)\nload r3, (r4)\nhalt")
+    assert program.instructions[0].imm == 8
+    assert program.instructions[1].imm == 0
+
+
+def test_negative_offset():
+    program = assemble("load r1, -8(r2)\nhalt")
+    assert program.instructions[0].imm == -8
+
+
+def test_store_syntax():
+    program = assemble("store r1, 16(r2)\nhalt")
+    instruction = program.instructions[0]
+    assert instruction.rs0 == 1 and instruction.rs1 == 2 and instruction.imm == 16
+
+
+def test_alu_register_vs_immediate():
+    program = assemble("add r1, r2, r3\nadd r4, r5, 42\nhalt")
+    assert program.instructions[0].rs1 == 3
+    assert program.instructions[1].imm == 42
+
+
+def test_bad_register():
+    with pytest.raises(AssemblyError):
+        assemble("li r99, 1\nhalt")
+
+
+def test_bad_integer():
+    with pytest.raises(AssemblyError, match="bad integer"):
+        assemble("li r1, xyz\nhalt")
+
+
+def test_wrong_arity():
+    with pytest.raises(AssemblyError, match="expects"):
+        assemble("li r1\nhalt")
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AssemblyError):
+        assemble("explode r1, r2\nhalt")
+
+
+def test_unknown_directive():
+    with pytest.raises(AssemblyError, match="unknown directive"):
+        assemble(".bogus 1\nhalt")
+
+
+def test_error_carries_line_number():
+    try:
+        assemble("nop\nli r1\nhalt")
+    except AssemblyError as error:
+        assert "line 2" in str(error)
+    else:  # pragma: no cover
+        pytest.fail("expected AssemblyError")
+
+
+def test_name_directive():
+    program = assemble(".name myprog\nhalt")
+    assert program.name == "myprog"
+
+
+def test_case_insensitive_mnemonics():
+    program = assemble("LI r1, 1\nHALT")
+    assert program.instructions[0].op == "li"

@@ -1,0 +1,150 @@
+"""Set-associative cache behaviour."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.cache import Cache, MemoryPort
+from repro.mem.memory import MainMemory
+from repro.utils.addr import AddressMap
+
+
+def make_cache(size=1024, assoc=2, hit=4, mem_latency=100):
+    amap = AddressMap()
+    memory = MainMemory(latency=mem_latency)
+    cache = Cache(
+        "L1D0", size=size, assoc=assoc, amap=amap, hit_latency=hit,
+        parent=MemoryPort(memory),
+    )
+    return cache
+
+
+def test_geometry_validation():
+    amap = AddressMap()
+    memory = MainMemory()
+    with pytest.raises(ConfigError):
+        Cache("bad", size=1000, assoc=2, amap=amap, hit_latency=1,
+              parent=MemoryPort(memory))
+
+
+def test_level_name_strips_core_id():
+    cache = make_cache()
+    assert cache.level_name == "L1D"
+
+
+def test_miss_then_hit():
+    cache = make_cache()
+    latency, level = cache.access(0x1000, now=0)
+    assert level == "MEM"
+    assert latency == 4 + 100
+    latency, level = cache.access(0x1000, now=200)
+    assert (latency, level) == (4, "L1D")
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_same_block_hits():
+    cache = make_cache()
+    cache.access(0x1000, now=0)
+    latency, level = cache.access(0x103F, now=200)  # same 64B line
+    assert level == "L1D"
+
+
+def test_inflight_fill_merging():
+    cache = make_cache()
+    cache.access(0x1000, now=0)  # fill ready at 104
+    latency, level = cache.access(0x1000, now=50)
+    assert level == "INFLIGHT"
+    assert latency == 104 - 50
+    assert cache.stats.inflight_hits == 1
+
+
+def test_lru_eviction_within_set():
+    cache = make_cache(size=1024, assoc=2)  # 8 sets -> set span 512B
+    span = 8 * 64
+    cache.access(0x0, now=0)
+    cache.access(0x0 + span, now=200)
+    cache.access(0x0, now=400)  # touch first line: second becomes LRU
+    cache.access(0x0 + 2 * span, now=600)  # evicts the span-1 line
+    assert cache.contains(0x0)
+    assert not cache.contains(span)
+    assert cache.stats.evictions == 1
+
+
+def test_write_sets_dirty_and_writeback_on_evict():
+    cache = make_cache(size=1024, assoc=1)
+    span = 16 * 64
+    cache.access(0x0, now=0, write=True)
+    line = cache.line_for(0x0)
+    assert line.dirty
+    cache.access(span, now=200)  # evicts the dirty line
+    assert cache.stats.writebacks == 1
+
+
+def test_prefetch_fills_with_ready_time():
+    cache = make_cache()
+    ready = cache.prefetch(0x2000, now=0, component="st")
+    assert ready == 104
+    assert cache.contains(0x2000)
+    assert not cache.contains_ready(0x2000, now=50)
+    assert cache.contains_ready(0x2000, now=104)
+    assert cache.stats.prefetch_issued == 1
+
+
+def test_prefetch_suppressed_when_present():
+    cache = make_cache()
+    cache.access(0x2000, now=0)
+    assert cache.prefetch(0x2000, now=200, component="st") is None
+    assert cache.stats.prefetch_issued == 0
+
+
+def test_prefetch_dropped_when_pool_full():
+    cache = make_cache()
+    assert cache.prefetch(0x0, now=0, component="at") is not None
+    assert cache.prefetch(0x40, now=0, component="at") is not None
+    assert cache.prefetch(0x80, now=0, component="at") is None  # pool of 2
+    assert cache.stats.prefetch_dropped == 1
+
+
+def test_useful_prefetch_counted_once():
+    cache = make_cache()
+    cache.prefetch(0x2000, now=0, component="st")
+    cache.access(0x2000, now=200)
+    cache.access(0x2000, now=300)
+    assert cache.stats.useful_prefetches == 1
+
+
+def test_invalidate_block():
+    cache = make_cache()
+    cache.access(0x1000, now=0)
+    assert cache.invalidate_block(0x1000)
+    assert not cache.contains(0x1000)
+    assert not cache.invalidate_block(0x1000)
+
+
+def test_flush_block_writes_back_dirty():
+    cache = make_cache()
+    cache.access(0x1000, now=0, write=True)
+    assert cache.flush_block(0x1000)
+    assert cache.stats.writebacks == 1
+    assert cache.stats.flushes == 1
+    assert not cache.contains(0x1000)
+
+
+def test_miss_latency_accounting():
+    cache = make_cache()
+    cache.access(0x1000, now=0)
+    assert cache.stats.miss_latency_total == 100  # beyond the 4-cycle hit
+
+
+def test_miss_rate():
+    cache = make_cache()
+    cache.access(0, now=0)
+    cache.access(0, now=200)
+    assert cache.stats.miss_rate == 0.5
+    assert cache.stats.as_dict()["miss_rate"] == 0.5
+
+
+def test_resident_blocks():
+    cache = make_cache()
+    cache.access(0x0, now=0)
+    cache.access(0x1000, now=200)
+    assert set(cache.resident_blocks()) == {0x0, 0x1000}

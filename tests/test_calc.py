@@ -1,0 +1,229 @@
+"""Table III rules in the calculation buffer — the Scale Tracker's core."""
+
+import pytest
+
+from repro.core.calc import CalculationBuffer
+
+
+@pytest.fixture
+def calc():
+    return CalculationBuffer()
+
+
+def test_initial_state(calc):
+    for reg in range(8):
+        assert calc.fva_of(reg) is None
+        assert calc.scale_of(reg) == 1
+
+
+def test_load_immediate(calc):
+    calc.load_immediate(1, 0x200)
+    assert calc.fva_of(1) == 0x200
+    assert calc.scale_of(1) == 1
+
+
+def test_load_from_memory_reinitialises(calc):
+    calc.load_immediate(1, 5)
+    calc.load_from_memory(1)
+    assert calc.fva_of(1) is None
+    assert calc.scale_of(1) == 1
+
+
+# --- addition rules ----------------------------------------------------------
+
+def test_add_imm_to_na_keeps_scale(calc):
+    calc.load_from_memory(1)
+    calc.alu("mul", 2, 1, imm=0x200)  # sc(r2)=0x200, fva NA
+    calc.alu("add", 3, 2, imm=64)
+    assert calc.fva_of(3) is None
+    assert calc.scale_of(3) == 0x200
+
+
+def test_add_imm_to_valid_computes_fva(calc):
+    calc.load_immediate(1, 100)
+    calc.alu("add", 2, 1, imm=28)
+    assert calc.fva_of(2) == 128
+    assert calc.scale_of(2) == 1
+
+
+def test_sub_imm_to_valid(calc):
+    calc.load_immediate(1, 100)
+    calc.alu("sub", 2, 1, imm=30)
+    assert calc.fva_of(2) == 70
+
+
+def test_add_two_valid_registers(calc):
+    calc.load_immediate(1, 3)
+    calc.load_immediate(2, 4)
+    calc.alu("add", 3, 1, rs1=2)
+    assert calc.fva_of(3) == 7
+    assert calc.scale_of(3) == 1  # canonicalised NA-scale (DESIGN.md)
+
+
+def test_add_na_plus_valid_takes_na_scale(calc):
+    calc.load_from_memory(1)
+    calc.alu("mul", 1, 1, imm=0x100)  # sc 0x100
+    calc.load_immediate(2, 0x4000)
+    calc.alu("add", 3, 1, rs1=2)
+    assert calc.fva_of(3) is None
+    assert calc.scale_of(3) == 0x100
+    # Symmetric case.
+    calc.alu("add", 4, 2, rs1=1)
+    assert calc.scale_of(4) == 0x100
+
+
+def test_add_two_na_takes_min_scale(calc):
+    calc.load_from_memory(1)
+    calc.alu("mul", 1, 1, imm=0x80)
+    calc.load_from_memory(2)
+    calc.alu("mul", 2, 2, imm=0x20)
+    calc.alu("add", 3, 1, rs1=2)
+    assert calc.scale_of(3) == 0x20
+
+
+# --- multiplication / shift rules ---------------------------------------------
+
+def test_mul_na_by_imm_scales(calc):
+    calc.load_from_memory(1)
+    calc.alu("mul", 2, 1, imm=0x200)
+    assert calc.fva_of(2) is None
+    assert calc.scale_of(2) == 0x200
+
+
+def test_mul_valid_by_imm(calc):
+    calc.load_immediate(1, 6)
+    calc.alu("mul", 2, 1, imm=7)
+    assert calc.fva_of(2) == 42
+    assert calc.scale_of(2) == 1
+
+
+def test_mul_two_valid(calc):
+    calc.load_immediate(1, 6)
+    calc.load_immediate(2, 7)
+    calc.alu("mul", 3, 1, rs1=2)
+    assert calc.fva_of(3) == 42
+
+
+def test_mul_na_by_valid_register(calc):
+    calc.load_from_memory(1)          # sc 1
+    calc.load_immediate(2, 0x200)
+    calc.alu("mul", 3, 1, rs1=2)      # sc = sc(r1) * fva(r2)
+    assert calc.fva_of(3) is None
+    assert calc.scale_of(3) == 0x200
+
+
+def test_mul_valid_by_na_register(calc):
+    calc.load_immediate(1, 0x40)
+    calc.load_from_memory(2)
+    calc.alu("mul", 2, 2, imm=4)      # sc(r2) = 4
+    calc.alu("mul", 3, 1, rs1=2)      # sc = fva(r1) * sc(r2)
+    assert calc.scale_of(3) == 0x100
+
+
+def test_mul_two_na_multiplies_scales(calc):
+    calc.load_from_memory(1)
+    calc.alu("mul", 1, 1, imm=8)
+    calc.load_from_memory(2)
+    calc.alu("mul", 2, 2, imm=16)
+    calc.alu("mul", 3, 1, rs1=2)
+    assert calc.scale_of(3) == 128
+
+
+def test_sll_shifts_scale(calc):
+    calc.load_from_memory(1)
+    calc.alu("sll", 2, 1, imm=9)
+    assert calc.scale_of(2) == 0x200
+
+
+def test_srl_shifts_scale_down(calc):
+    calc.load_from_memory(1)
+    calc.alu("mul", 1, 1, imm=0x400)
+    calc.alu("srl", 2, 1, imm=1)
+    assert calc.scale_of(2) == 0x200
+
+
+def test_srl_clamps_to_one(calc):
+    calc.load_from_memory(1)
+    calc.alu("srl", 2, 1, imm=10)
+    assert calc.scale_of(2) == 1
+
+
+def test_sll_on_valid_fva(calc):
+    calc.load_immediate(1, 3)
+    calc.alu("sll", 2, 1, imm=4)
+    assert calc.fva_of(2) == 48
+    assert calc.scale_of(2) == 1
+
+
+def test_shift_by_unknown_amount_reinitialises(calc):
+    calc.load_immediate(1, 8)
+    calc.load_from_memory(2)
+    calc.alu("sll", 3, 1, rs1=2)
+    assert calc.fva_of(3) is None
+    assert calc.scale_of(3) == 1
+
+
+# --- otherwise rule -------------------------------------------------------------
+
+@pytest.mark.parametrize("op", ["and", "or", "xor"])
+def test_other_ops_reinitialise(calc, op):
+    calc.load_from_memory(1)
+    calc.alu("mul", 1, 1, imm=0x200)
+    calc.alu(op, 2, 1, imm=0xFF)
+    assert calc.fva_of(2) is None
+    assert calc.scale_of(2) == 1
+
+
+def test_move_propagates_na_scale(calc):
+    calc.load_from_memory(1)
+    calc.alu("mul", 1, 1, imm=0x180)
+    calc.move(2, 1)
+    assert calc.scale_of(2) == 0x180
+
+
+def test_move_of_constant(calc):
+    calc.load_immediate(1, 55)
+    calc.move(2, 1)
+    assert calc.fva_of(2) == 55
+
+
+# --- saturation / paper example ---------------------------------------------------
+
+def test_scale_saturates_at_cap():
+    calc = CalculationBuffer(scale_cap=4096)
+    calc.load_from_memory(1)
+    for _ in range(20):
+        calc.alu("mul", 1, 1, imm=2)
+    assert calc.scale_of(1) == 4096
+
+
+def test_negative_scale_becomes_positive(calc):
+    calc.load_from_memory(1)
+    calc.alu("mul", 2, 1, imm=-0x200)
+    assert calc.scale_of(2) == 0x200
+
+
+def test_mul_by_zero_clamps_scale(calc):
+    calc.load_from_memory(1)
+    calc.alu("mul", 2, 1, imm=0)
+    assert calc.scale_of(2) == 1
+
+
+def test_figure5_example(calc):
+    """The paper's Fig. 5: array[secret*0x200] with arr base immediate."""
+    calc.load_from_memory(0)          # r0: secret's address (from memory)
+    calc.load_from_memory(1)          # r1: secret value
+    calc.load_immediate(2, 0x8000)    # r2: arr_addr
+    calc.load_immediate(3, 0x200)     # r3: 0x200
+    calc.alu("mul", 4, 1, rs1=3)      # r4 = secret * 0x200
+    assert calc.scale_of(4) == 0x200
+    assert calc.fva_of(4) is None
+    calc.alu("add", 5, 2, rs1=4)      # r5 = arr + r4
+    assert calc.scale_of(5) == 0x200
+    assert calc.fva_of(5) is None
+
+
+def test_reset(calc):
+    calc.load_immediate(1, 5)
+    calc.reset()
+    assert calc.fva_of(1) is None and calc.scale_of(1) == 1

@@ -1,0 +1,61 @@
+"""Evict+Time (the out-of-scope timing attack) and the CLI front door."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.attacks import EvictTimeAttack
+from repro.core.config import PrefenderConfig
+from repro.sim.config import PrefetcherSpec, SystemConfig
+
+
+def test_evict_time_baseline_recovers_secret():
+    outcome = EvictTimeAttack().run(SystemConfig())
+    assert outcome.candidates == [37]
+    assert outcome.attack_succeeded
+
+
+def test_evict_time_channel_survives_prefender():
+    """The paper's Table II negative result: timing channels are out of
+    PREFENDER's threat model — one anomalous round survives."""
+    outcome = EvictTimeAttack().run(
+        SystemConfig(
+            prefetcher=PrefetcherSpec(
+                kind="prefender", prefender=PrefenderConfig.full(8)
+            )
+        )
+    )
+    assert len(outcome.candidates) == 1
+    assert outcome.candidates[0] in (36, 37, 38)
+
+
+def test_evict_time_threshold_is_relative():
+    attack = EvictTimeAttack()
+    outcome = attack.run(SystemConfig())
+    fast = sorted(lat for lat in outcome.latencies if lat > 0)
+    assert outcome.threshold == fast[len(fast) // 2] + 6
+
+
+def test_cli_attack_command(capsys):
+    assert main(["attack", "flush-reload", "--defense", "ST"]) == 0
+    output = capsys.readouterr().out
+    assert "DEFENDED" in output
+
+
+def test_cli_attack_baseline_succeeds(capsys):
+    assert main(["attack", "prime-probe"]) == 0
+    assert "ATTACK SUCCEEDED" in capsys.readouterr().out
+
+
+def test_cli_hwcost(capsys):
+    assert main(["hwcost"]) == 0
+    assert "400 B" in capsys.readouterr().out
+
+
+def test_cli_table(capsys):
+    assert main(["table", "6", "--scale", "0.1"]) == 0
+    assert "Table VI" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

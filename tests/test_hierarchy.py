@@ -1,0 +1,126 @@
+"""Multi-level hierarchy: latencies, flush, coherence, back-invalidation."""
+
+import pytest
+
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.prefetch.base import Observation, Prefetcher, PrefetchRequest
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(num_cores=2)
+
+
+def test_latency_classes(hierarchy):
+    # Cold: L1 miss, L2 miss -> memory.
+    outcome = hierarchy.load(0, 0x1000, now=0)
+    assert outcome.level == "MEM"
+    assert outcome.latency == 4 + 12 + 120
+    # Warm L1.
+    outcome = hierarchy.load(0, 0x1000, now=500)
+    assert (outcome.latency, outcome.level) == (4, "L1D")
+    # Other core: L1 miss, L2 hit.
+    outcome = hierarchy.load(1, 0x1000, now=1000)
+    assert (outcome.latency, outcome.level) == (16, "L2")
+
+
+def test_store_value_visible_to_other_core(hierarchy):
+    hierarchy.store(0, 0x2000, 77, now=0)
+    outcome = hierarchy.load(1, 0x2000, now=100)
+    assert outcome.value == 77
+
+
+def test_store_invalidates_other_l1(hierarchy):
+    hierarchy.load(1, 0x2000, now=0)
+    assert hierarchy.l1_contains(1, 0x2000)
+    hierarchy.store(0, 0x2000, 1, now=500)
+    assert not hierarchy.l1_contains(1, 0x2000)
+    assert hierarchy.l1ds[1].stats.cross_invalidations == 1
+
+
+def test_nonblocking_stores_return_one_cycle(hierarchy):
+    assert hierarchy.store(0, 0x3000, 5, now=0) == 1
+
+
+def test_blocking_stores_config():
+    hierarchy = MemoryHierarchy(
+        num_cores=1, config=HierarchyConfig(nonblocking_stores=False)
+    )
+    latency = hierarchy.store(0, 0x3000, 5, now=0)
+    assert latency == 136
+
+
+def test_flush_evicts_everywhere(hierarchy):
+    hierarchy.load(0, 0x4000, now=0)
+    hierarchy.load(1, 0x4000, now=200)
+    latency = hierarchy.flush(0, 0x4000, now=400)
+    assert latency == hierarchy.config.flush_latency
+    assert not hierarchy.l1_contains(0, 0x4000)
+    assert not hierarchy.l1_contains(1, 0x4000)
+    assert not hierarchy.l2.contains(0x4000)
+    # Reload pays the full memory path again.
+    assert hierarchy.load(0, 0x4000, now=600).level == "MEM"
+
+
+def test_inclusive_back_invalidation():
+    hierarchy = MemoryHierarchy(
+        num_cores=1,
+        config=HierarchyConfig(l2_size=64 * 1024, l2_assoc=1),
+    )
+    # Fill one L2 set until eviction; the L1 copy must be back-invalidated.
+    span = hierarchy.l2.num_sets * 64
+    hierarchy.load(0, 0x0, now=0)
+    assert hierarchy.l1_contains(0, 0x0)
+    hierarchy.load(0, span, now=1000)  # same L2 set, assoc 1 -> evict
+    assert not hierarchy.l1_contains(0, 0x0)
+    assert hierarchy.l1ds[0].stats.back_invalidations == 1
+
+
+class _RecordingPrefetcher(Prefetcher):
+    name = "recording"
+
+    def __init__(self):
+        self.observations = []
+
+    def observe(self, observation, l1d_contains):
+        self.observations.append(observation)
+        return [PrefetchRequest(addr=observation.block_addr + 64, component="x")]
+
+
+def test_prefetcher_notification_and_issue(hierarchy):
+    prefetcher = _RecordingPrefetcher()
+    hierarchy.attach_prefetcher(0, prefetcher)
+    hierarchy.load(0, 0x5000, now=0, pc=0x400000, scale=512)
+    assert len(prefetcher.observations) == 1
+    observation = prefetcher.observations[0]
+    assert observation.pc == 0x400000
+    assert observation.scale == 512
+    assert observation.op == "load"
+    assert hierarchy.l1_contains(0, 0x5040)
+    assert hierarchy.prefetch_counts(0) == {"x": 1}
+    timeline = hierarchy.prefetch_timeline(0)
+    assert timeline == [(0, "x", 0x5040)]
+
+
+def test_prefetch_fills_l2_too(hierarchy):
+    prefetcher = _RecordingPrefetcher()
+    hierarchy.attach_prefetcher(0, prefetcher)
+    hierarchy.load(0, 0x6000, now=0)
+    assert hierarchy.l2.contains(0x6040)
+
+
+def test_total_prefetch_counts(hierarchy):
+    hierarchy.attach_prefetcher(0, _RecordingPrefetcher())
+    hierarchy.attach_prefetcher(1, _RecordingPrefetcher())
+    hierarchy.load(0, 0x7000, now=0)
+    hierarchy.load(1, 0x8000, now=0)
+    assert hierarchy.total_prefetch_counts() == {"x": 2}
+
+
+def test_observation_hit_flag(hierarchy):
+    prefetcher = _RecordingPrefetcher()
+    hierarchy.attach_prefetcher(0, prefetcher)
+    hierarchy.load(0, 0x9000, now=0)
+    hierarchy.load(0, 0x9000, now=500)
+    assert prefetcher.observations[0].hit is False
+    assert prefetcher.observations[1].hit is True

@@ -1,0 +1,56 @@
+"""Section V-E hardware resource arithmetic."""
+
+from repro.hwcost import estimate, render_report
+from repro.hwcost.model import (
+    AccessTrackerCost,
+    RecordProtectorCost,
+    ScaleTrackerCost,
+)
+
+
+def test_scale_tracker_hundreds_of_bytes():
+    cost = ScaleTrackerCost()
+    assert cost.sram_bits == 32 * 2 * 16
+    assert cost.sram_bytes == 128
+    assert cost.datapath["adder_bits"] == 16
+
+
+def test_access_tracker_under_3kb():
+    cost = AccessTrackerCost()
+    assert cost.sram_bytes < 3 * 1024
+    assert cost.sram_bits == 32 * (8 * 64 + 64 + 20)
+
+
+def test_record_protector_400_bytes():
+    cost = RecordProtectorCost()
+    assert cost.entry_bits == 80  # 16(sc) + 64(BlkAddr)
+    assert cost.sram_bits == (8 + 32) * 80
+    assert cost.sram_bytes == 400
+
+
+def test_modulus_is_9_bits_for_64kb_2way():
+    cost = RecordProtectorCost(l1_sets=512)
+    assert cost.modulus_bits == 9
+    assert cost.modulus_latency_cycles == 2
+
+
+def test_modulus_scales_with_sets():
+    assert RecordProtectorCost(l1_sets=1024).modulus_bits == 10
+
+
+def test_estimate_totals():
+    report = estimate()
+    assert report.total_sram_bytes == 128 + 2384 + 400
+
+
+def test_estimate_parameterised():
+    report = estimate(buffers=64)
+    assert report.access_tracker.buffers == 64
+    assert report.record_protector.access_buffers == 64
+    assert report.access_tracker.sram_bytes > estimate().access_tracker.sram_bytes
+
+
+def test_render_report_mentions_components():
+    text = render_report(estimate())
+    for fragment in ("Scale Tracker", "Access Tracker", "Record Protector"):
+        assert fragment in text

@@ -1,0 +1,63 @@
+"""Instruction representation and rendering."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ALU_OPS,
+    BRANCH_OPS,
+    Instruction,
+    MEMORY_OPS,
+)
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(ValueError):
+        Instruction("frobnicate")
+
+
+def test_opcode_groups_disjoint():
+    assert not (ALU_OPS & BRANCH_OPS)
+    assert not (ALU_OPS & MEMORY_OPS)
+    assert "mul" in ALU_OPS
+    assert "sll" in ALU_OPS and "srl" in ALU_OPS
+
+
+def test_is_branch():
+    assert Instruction("beq", rs0=1, rs1=2, target="x").is_branch()
+    assert not Instruction("jmp", target="x").is_branch()
+    assert not Instruction("nop").is_branch()
+
+
+def test_is_memory():
+    assert Instruction("load", rd=1, rs0=2, imm=0).is_memory()
+    assert Instruction("store", rs0=1, rs1=2, imm=0).is_memory()
+    assert Instruction("clflush", rs0=1, imm=0).is_memory()
+    assert not Instruction("add", rd=1, rs0=1, imm=1).is_memory()
+
+
+@pytest.mark.parametrize(
+    "instruction,expected",
+    [
+        (Instruction("li", rd=1, imm=5), "li r1, 5"),
+        (Instruction("mov", rd=1, rs0=2), "mov r1, r2"),
+        (Instruction("add", rd=1, rs0=2, rs1=3), "add r1, r2, r3"),
+        (Instruction("sub", rd=1, rs0=2, imm=4), "sub r1, r2, 4"),
+        (Instruction("load", rd=1, rs0=2, imm=8), "load r1, 8(r2)"),
+        (Instruction("store", rs0=1, rs1=2, imm=8), "store r1, 8(r2)"),
+        (Instruction("clflush", rs0=3, imm=0), "clflush 0(r3)"),
+        (Instruction("rdcycle", rd=4), "rdcycle r4"),
+        (Instruction("beq", rs0=1, rs1=0, target="loop"), "beq r1, r0, loop"),
+        (Instruction("jmp", target="end"), "jmp end"),
+        (Instruction("nop"), "nop"),
+        (Instruction("fence"), "fence"),
+        (Instruction("halt"), "halt"),
+    ],
+)
+def test_to_text(instruction, expected):
+    assert instruction.to_text() == expected
+
+
+def test_fence_exists():
+    fence = Instruction("fence")
+    assert not fence.is_memory()
+    assert not fence.is_branch()

@@ -1,0 +1,90 @@
+"""End-to-end performance shape checks (fast versions of the table benches)."""
+
+import pytest
+
+from repro.core.config import PrefenderConfig
+from repro.experiments.common import PERF_CORE
+from repro.sim.config import PrefetcherSpec, SystemConfig
+from repro.sim.simulator import run_program
+from repro.workloads import get_workload
+
+
+def cycles(name, spec, scale=0.2):
+    program = get_workload(name).program(scale)
+    return run_program(
+        program, SystemConfig(prefetcher=spec, core=PERF_CORE)
+    ).cycles
+
+
+BASE = PrefetcherSpec(kind="none")
+ST_AT = PrefetcherSpec(kind="prefender", prefender=PrefenderConfig.st_at(32))
+FULL = PrefetcherSpec(kind="prefender", prefender=PrefenderConfig.full(32))
+TAGGED = PrefetcherSpec(kind="tagged")
+STRIDE = PrefetcherSpec(kind="stride")
+
+
+def test_streaming_benchmark_gains_with_every_prefetcher():
+    base = cycles("462.libquantum", BASE)
+    for spec in (ST_AT, TAGGED, STRIDE):
+        assert cycles("462.libquantum", spec) < base
+
+
+def test_compute_only_benchmark_is_invariant():
+    base = cycles("999.specrand", BASE)
+    for spec in (ST_AT, FULL, TAGGED, STRIDE):
+        assert cycles("999.specrand", spec) == base
+
+
+def test_parest_prefers_prefender_over_stride():
+    """The Table VI headline: ST's dataflow tracking beats stride guessing
+    on index-driven strided-sparse access."""
+    base = cycles("510.parest_r", BASE)
+    st_at = cycles("510.parest_r", ST_AT)
+    stride = cycles("510.parest_r", STRIDE)
+    assert st_at < base
+    assert st_at < stride
+
+
+def test_random_lookup_benchmark_never_gains_much():
+    base = cycles("458.sjeng", BASE)
+    st_at = cycles("458.sjeng", ST_AT)
+    assert abs(base - st_at) / base < 0.02
+
+
+def test_rp_cost_is_small():
+    base = cycles("429.mcf", BASE)
+    without_rp = cycles("429.mcf", ST_AT)
+    with_rp = cycles("429.mcf", FULL)
+    gain_without = base / without_rp - 1
+    gain_with = base / with_rp - 1
+    assert gain_with > 0
+    assert abs(gain_without - gain_with) < 0.08
+
+
+def test_composite_does_not_break_basic_prefetcher():
+    composite = PrefetcherSpec(
+        kind="prefender+tagged", prefender=PrefenderConfig.st_at(32)
+    )
+    base = cycles("456.hmmer", BASE)
+    assert cycles("456.hmmer", composite) < base
+
+
+def test_prefender_defends_while_accelerating():
+    """The paper's thesis in one test: same configuration, both benefits."""
+    from repro.attacks import FlushReloadAttack
+
+    config = SystemConfig(prefetcher=FULL, core=PERF_CORE)
+    outcome = FlushReloadAttack().run(config)
+    assert outcome.defended
+
+    base = cycles("462.libquantum", BASE)
+    fast = cycles("462.libquantum", FULL)
+    assert fast < base
+
+
+@pytest.mark.parametrize("buffers", [16, 32, 64])
+def test_buffer_sweep_all_positive_on_winner(buffers):
+    spec = PrefetcherSpec(
+        kind="prefender", prefender=PrefenderConfig.st_at(buffers)
+    )
+    assert cycles("462.libquantum", spec) < cycles("462.libquantum", BASE)

@@ -1,0 +1,68 @@
+"""LRU recency tracker."""
+
+import pytest
+
+from repro.utils.lru import LRUTracker
+
+
+def test_victim_is_least_recent():
+    lru = LRUTracker()
+    for key in "abc":
+        lru.touch(key)
+    assert lru.victim() == "a"
+    lru.touch("a")
+    assert lru.victim() == "b"
+
+
+def test_untouched_candidates_rank_oldest():
+    lru = LRUTracker()
+    lru.touch("a")
+    assert lru.victim(["a", "never-touched"]) == "never-touched"
+
+
+def test_candidate_restriction():
+    lru = LRUTracker()
+    for key in "abcd":
+        lru.touch(key)
+    assert lru.victim(["c", "d"]) == "c"
+
+
+def test_forget():
+    lru = LRUTracker()
+    lru.touch("a")
+    lru.forget("a")
+    assert "a" not in lru
+    lru.forget("missing")  # no-op
+
+
+def test_empty_victim_raises():
+    with pytest.raises(ValueError):
+        LRUTracker().victim()
+    with pytest.raises(ValueError):
+        LRUTracker().victim([])
+
+
+def test_len_and_contains():
+    lru = LRUTracker()
+    assert len(lru) == 0
+    lru.touch(1)
+    lru.touch(2)
+    assert len(lru) == 2
+    assert 1 in lru
+
+
+def test_stamps_snapshot_is_copy():
+    lru = LRUTracker()
+    lru.touch("x")
+    snapshot = lru.stamps()
+    snapshot["x"] = 999
+    assert lru.stamps()["x"] != 999
+
+
+def test_retouching_updates_order():
+    lru = LRUTracker()
+    for key in (1, 2, 3):
+        lru.touch(key)
+    lru.touch(1)
+    lru.touch(2)
+    assert lru.victim() == 3

@@ -1,0 +1,105 @@
+"""Main memory and MSHR file."""
+
+from repro.isa.assembler import assemble
+from repro.mem.memory import MainMemory
+from repro.mem.mshr import MSHRFile
+
+
+def test_memory_read_default_zero():
+    memory = MainMemory()
+    assert memory.read(0x1234) == 0
+
+
+def test_memory_write_read():
+    memory = MainMemory()
+    memory.write(0x10, 42)
+    assert memory.read(0x10) == 42
+    assert memory.footprint() == 1
+
+
+def test_memory_masks_64_bits():
+    memory = MainMemory()
+    memory.write(0, (1 << 64) + 7)
+    assert memory.read(0) == 7
+
+
+def test_memory_counters():
+    memory = MainMemory()
+    memory.read(0)
+    memory.write(0, 1)
+    memory.peek(0)  # peek does not count
+    assert memory.reads == 1 and memory.writes == 1
+
+
+def test_memory_loads_program_data():
+    memory = MainMemory()
+    program = assemble(".data 0x100 stride=8 5 6\nhalt")
+    memory.load_program_data(program)
+    assert memory.peek(0x100) == 5
+    assert memory.peek(0x108) == 6
+
+
+def test_mshr_demand_allocation():
+    mshr = MSHRFile(num_entries=2)
+    start, ready = mshr.allocate_demand(0x0, now=0, fill_time=100)
+    assert (start, ready) == (0, 100)
+    assert mshr.occupancy(0) == 1
+    assert mshr.occupancy(100) == 0  # expired
+
+
+def test_mshr_demand_waits_when_full():
+    mshr = MSHRFile(num_entries=1)
+    mshr.allocate_demand(0x0, now=0, fill_time=100)
+    start, ready = mshr.allocate_demand(0x40, now=10, fill_time=100)
+    assert start == 100  # waited for the first fill
+    assert ready == 200
+    assert mshr.demand_waits == 1
+    assert mshr.total_wait_cycles == 90
+
+
+def test_mshr_merge():
+    mshr = MSHRFile()
+    mshr.allocate_demand(0x0, now=0, fill_time=100)
+    assert mshr.merge(0x0, now=10) == 100
+    assert mshr.merge(0x40, now=10) is None
+    assert mshr.merges == 1
+
+
+def test_mshr_merge_budget():
+    mshr = MSHRFile(max_merges=2)
+    mshr.allocate_demand(0x0, now=0, fill_time=100)
+    assert mshr.merge(0x0, 1) is not None
+    assert mshr.merge(0x0, 2) is not None
+    assert mshr.merge(0x0, 3) is None  # budget exhausted
+
+
+def test_mshr_prefetch_pool_is_separate():
+    mshr = MSHRFile(num_entries=1, prefetch_entries=1)
+    mshr.allocate_demand(0x0, now=0, fill_time=100)
+    # Demand pool full, prefetch pool still open.
+    assert mshr.allocate_prefetch(0x40, now=0, fill_time=100) == 100
+    # Prefetch pool now full.
+    assert mshr.allocate_prefetch(0x80, now=0, fill_time=100) is None
+    assert mshr.prefetch_drops == 1
+    # Demand pool full too: a new demand waits (prefetches don't block it
+    # from *allocating*; the demand budget is what it waits on).
+    start, _ = mshr.allocate_demand(0xC0, now=0, fill_time=100)
+    assert start == 100
+
+
+def test_mshr_prefetch_fill_never_drops():
+    mshr = MSHRFile(num_entries=1, prefetch_entries=1)
+    for block in range(10):
+        ready = mshr.allocate_prefetch_fill(block * 64, now=0, fill_time=50)
+        assert ready == 50
+
+
+def test_mshr_availability_queries():
+    mshr = MSHRFile(num_entries=1, prefetch_entries=1)
+    assert mshr.available(0)
+    assert mshr.prefetch_available(0)
+    mshr.allocate_demand(0, 0, 100)
+    mshr.allocate_prefetch(64, 0, 100)
+    assert not mshr.available(50)
+    assert not mshr.prefetch_available(50)
+    assert mshr.available(150) and mshr.prefetch_available(150)

@@ -1,0 +1,336 @@
+"""Unit tests for ST, AT, scale buffer, RP and the assembled PREFENDER."""
+
+import pytest
+
+from repro.core.access_buffer import AccessBuffer
+from repro.core.access_tracker import AccessTracker
+from repro.core.config import PrefenderConfig
+from repro.core.prefender import Prefender
+from repro.core.record_protector import RecordProtector
+from repro.core.scale_buffer import ScaleBuffer
+from repro.core.scale_tracker import ScaleTracker
+from repro.errors import ConfigError
+from repro.prefetch.base import Observation
+from repro.utils.addr import AddressMap
+
+AMAP = AddressMap()
+
+
+def obs(addr, pc=0x400000, scale=1, now=0, op="load"):
+    return Observation(
+        op=op, core_id=0, pc=pc, addr=addr, block_addr=AMAP.block_addr(addr),
+        hit=False, now=now, scale=scale,
+    )
+
+
+def absent(_addr):
+    return False
+
+
+# --- Scale Tracker -------------------------------------------------------------
+
+def test_st_trigger_range():
+    st = ScaleTracker(AMAP)
+    assert not st.scale_in_range(1)
+    assert not st.scale_in_range(64)      # == cacheline: excluded
+    assert st.scale_in_range(65)
+    assert st.scale_in_range(0x200)
+    assert not st.scale_in_range(4096)    # == page: excluded
+
+
+def test_st_prefetches_both_neighbours():
+    st = ScaleTracker(AMAP)
+    addr = 0x10000 + 0x200  # both neighbours in-page
+    requests = st.observe_load(obs(addr, scale=0x200), absent)
+    assert sorted(r.addr for r in requests) == [addr - 0x200, addr + 0x200]
+    assert all(r.component == "st" for r in requests)
+
+
+def test_st_respects_page_boundary():
+    st = ScaleTracker(AMAP)
+    addr = 0x10000  # page-aligned: addr-0x200 crosses the page
+    requests = st.observe_load(obs(addr, scale=0x200), absent)
+    assert [r.addr for r in requests] == [addr + 0x200]
+
+
+def test_st_skips_resident_lines():
+    st = ScaleTracker(AMAP)
+    addr = 0x10000 + 0x200
+    requests = st.observe_load(obs(addr, scale=0x200), lambda a: a < addr)
+    assert [r.addr for r in requests] == [addr + 0x200]
+
+
+def test_st_no_trigger_outside_range():
+    st = ScaleTracker(AMAP)
+    assert st.observe_load(obs(0x10200, scale=64), absent) == []
+    assert st.observe_load(obs(0x10200, scale=1), absent) == []
+
+
+def test_st_max_prefetches():
+    st = ScaleTracker(AMAP, max_prefetches=1)
+    requests = st.observe_load(obs(0x10200, scale=0x200), absent)
+    assert len(requests) == 1
+
+
+# --- Access buffer ---------------------------------------------------------------
+
+def test_access_buffer_records_and_lru():
+    buffer = AccessBuffer(capacity=2)
+    buffer.reset(0x400000)
+    assert buffer.record(0x1000, now=1)
+    assert not buffer.record(0x1000, now=2)  # already present
+    assert buffer.record(0x2000, now=3)
+    buffer.record(0x1000, now=4)  # refresh
+    assert buffer.record(0x3000, now=5)  # evicts 0x2000 (LRU)
+    assert buffer.contains(0x1000) and buffer.contains(0x3000)
+    assert not buffer.contains(0x2000)
+
+
+def test_access_buffer_diff_min():
+    buffer = AccessBuffer(capacity=8)
+    buffer.reset(0x400000)
+    for block in (0x1000, 0x1F00, 0x1600, 0x2800):
+        buffer.record(block, now=0)
+    assert buffer.update_diff_min() == 0x600
+    buffer.record(0x1C00, now=1)
+    assert buffer.update_diff_min() == 0x300  # the paper's Fig. 6 example
+
+
+def test_access_buffer_protection_roundtrip():
+    buffer = AccessBuffer()
+    buffer.reset(0x400000)
+    buffer.protect(0x200, 0x1000)
+    assert buffer.protected
+    assert buffer.protected_scale_matches(0x1000 + 5 * 0x200) == 0x200
+    assert buffer.protected_scale_matches(0x1080) is None
+    buffer.unprotect()
+    assert not buffer.protected
+
+
+# --- Access tracker ---------------------------------------------------------------
+
+def make_tracker(buffers=4, threshold=4):
+    return AccessTracker(AMAP, num_buffers=buffers, threshold=threshold)
+
+
+def test_at_allocates_per_pc():
+    tracker = make_tracker()
+    tracker.observe_load(obs(0x1000, pc=0xA), absent)
+    tracker.observe_load(obs(0x2000, pc=0xB), absent)
+    assert tracker.buffer_for_pc(0xA).contains(0x1000)
+    assert tracker.buffer_for_pc(0xB).contains(0x2000)
+
+
+def test_at_no_prefetch_below_threshold():
+    tracker = make_tracker()
+    for i in range(3):
+        requests = tracker.observe_load(obs(0x1000 + i * 0x200, pc=0xA), absent)
+        assert requests == []
+
+
+def test_at_prefetches_with_diffmin():
+    tracker = make_tracker()
+    requests = []
+    for i in range(4):
+        requests = tracker.observe_load(obs(0x1000 + i * 0x200, pc=0xA), absent)
+    assert len(requests) == 1
+    # Candidate is blk +/- DiffMin (0x200), not already in buffer/L1.
+    assert requests[0].addr in (0x1600 + 0x200, 0x1600 - 0x200 - 0x200)
+    assert requests[0].component == "at"
+
+
+def test_at_lru_replacement_of_buffers():
+    tracker = make_tracker(buffers=2)
+    tracker.observe_load(obs(0x1000, pc=0xA), absent)
+    tracker.observe_load(obs(0x2000, pc=0xB), absent)
+    tracker.observe_load(obs(0x3000, pc=0xC), absent)  # evicts A's buffer
+    assert tracker.buffer_for_pc(0xA) is None
+    assert tracker.buffer_for_pc(0xC) is not None
+
+
+def test_at_protected_buffers_immune_to_lru():
+    tracker = make_tracker(buffers=2)
+    tracker.observe_load(obs(0x1000, pc=0xA), absent)
+    tracker.buffer_for_pc(0xA).protect(0x200, 0x1000)
+    tracker.observe_load(obs(0x2000, pc=0xB), absent)
+    tracker.observe_load(obs(0x3000, pc=0xC), absent)  # must evict B, not A
+    assert tracker.buffer_for_pc(0xA) is not None
+    assert tracker.buffer_for_pc(0xB) is None
+
+
+def test_at_all_protected_allocation_fails():
+    tracker = make_tracker(buffers=1)
+    tracker.observe_load(obs(0x1000, pc=0xA), absent)
+    tracker.buffer_for_pc(0xA).protect(0x200, 0x1000)
+    assert tracker.observe_load(obs(0x2000, pc=0xB), absent) == []
+    assert tracker.allocation_failures == 1
+
+
+def test_at_guided_scale_overrides_diffmin():
+    tracker = make_tracker()
+    requests = tracker.observe_load(
+        obs(0x5000, pc=0xD), absent, guided_scale=0x400
+    )
+    # Guided prefetching does not wait for the entry threshold.
+    assert len(requests) == 1
+    assert requests[0].component == "rp"
+    assert requests[0].addr in (0x5400, 0x4C00)
+
+
+def test_at_protected_count():
+    tracker = make_tracker()
+    tracker.observe_load(obs(0x1000, pc=0xA), absent)
+    assert tracker.protected_count() == 0
+    tracker.buffer_for_pc(0xA).protect(0x200, 0x1000)
+    assert tracker.protected_count() == 1
+
+
+# --- Scale buffer -----------------------------------------------------------------
+
+def test_scale_buffer_record_and_match():
+    buffer = ScaleBuffer(capacity=4)
+    buffer.record(0x200, 0x1000)
+    assert buffer.match(0x1000 + 7 * 0x200).sc == 0x200
+    assert buffer.match(0x1080) is None
+
+
+def test_scale_buffer_redundancy_keeps_larger_scale():
+    buffer = ScaleBuffer()
+    buffer.record(0x100, 0x2000)
+    buffer.record(0x400, 0x1000)  # overlaps (0x1000-0x2000 divisible by 0x100)
+    assert len(buffer) == 1
+    assert buffer.entries()[0].sc == 0x400  # the paper's Fig. 7 step 1
+    buffer.record(0x200, 0x1000 + 0x400)  # smaller overlapping scale: subsumed
+    assert len(buffer) == 1
+    assert buffer.entries()[0].sc == 0x400
+
+
+def test_scale_buffer_capacity_lru():
+    buffer = ScaleBuffer(capacity=2)
+    buffer.record(0x200, 0x1000)
+    buffer.record(0x200, 0x1040)  # non-overlapping (offset not multiple)
+    buffer.match(0x1000)          # touch the first entry
+    buffer.record(0x200, 0x1080)  # replaces the second (LRU)
+    blks = {record.blk for record in buffer.entries()}
+    assert blks == {0x1000, 0x1080}
+
+
+def test_scale_buffer_ignores_nonpositive_scale():
+    buffer = ScaleBuffer()
+    buffer.record(0, 0x1000)
+    buffer.record(-5, 0x1000)
+    assert len(buffer) == 0
+
+
+# --- Record protector ---------------------------------------------------------------
+
+def test_rp_protects_matching_buffer():
+    tracker = make_tracker()
+    rp = RecordProtector()
+    rp.record_scale(0x200, 0x1000)
+    tracker.observe_load(obs(0x1000, pc=0xA), absent)
+    guided = rp.guidance_for(obs(0x1400, pc=0xA), tracker)
+    assert guided == 0x200
+    assert tracker.buffer_for_pc(0xA).protected
+
+
+def test_rp_guidance_without_buffer_then_latch():
+    tracker = make_tracker()
+    rp = RecordProtector()
+    rp.record_scale(0x200, 0x1000)
+    observation = obs(0x1400, pc=0xB)
+    guided = rp.guidance_for(observation, tracker)
+    assert guided == 0x200
+    tracker.observe_load(observation, absent, guided_scale=guided)
+    rp.protect_after_allocation(observation, tracker)
+    assert tracker.buffer_for_pc(0xB).protected
+
+
+def test_rp_falls_back_to_latched_scale():
+    """Fig. 7(b): scale-buffer entry replaced, protected scale still guides."""
+    tracker = make_tracker()
+    rp = RecordProtector(scale_buffer_entries=1)
+    rp.record_scale(0x200, 0x1000)
+    observation = obs(0x1400, pc=0xA)
+    tracker.observe_load(observation, absent)
+    rp.guidance_for(observation, tracker)  # protect with (0x200, 0x1000)
+    # Replace the only scale-buffer entry with an unrelated pattern.
+    rp.record_scale(0x300, 0x77700040)
+    guided = rp.guidance_for(obs(0x1800, pc=0xA), tracker)
+    assert guided == 0x200
+
+
+def test_rp_unprotects_after_prefetch_limit():
+    tracker = make_tracker()
+    rp = RecordProtector(unprotect_prefetch_limit=2)
+    rp.record_scale(0x200, 0x1000)
+    tracker.observe_load(obs(0x1000, pc=0xA), absent)
+    rp.guidance_for(obs(0x1200, pc=0xA), tracker)
+    buffer = tracker.buffer_for_pc(0xA)
+    buffer.guided_prefetches = 2
+    rp.expire_stale_protection(buffer, now=10)
+    assert not buffer.protected
+    assert rp.unprotections == 1
+
+
+def test_rp_unprotects_after_idle():
+    tracker = make_tracker()
+    rp = RecordProtector(unprotect_idle_cycles=100)
+    rp.record_scale(0x200, 0x1000)
+    tracker.observe_load(obs(0x1000, pc=0xA, now=0), absent)
+    rp.guidance_for(obs(0x1200, pc=0xA, now=0), tracker)
+    buffer = tracker.buffer_for_pc(0xA)
+    rp.expire_stale_protection(buffer, now=500)
+    assert not buffer.protected
+
+
+# --- assembled PREFENDER ----------------------------------------------------------------
+
+def test_prefender_config_validation():
+    with pytest.raises(ConfigError):
+        PrefenderConfig(at_enabled=False, rp_enabled=True)
+    with pytest.raises(ConfigError):
+        PrefenderConfig(at_threshold=1)
+
+
+def test_prefender_variant_names():
+    assert PrefenderConfig.full().variant_name == "Prefender"
+    assert PrefenderConfig.st_only().variant_name == "Prefender-ST"
+    assert PrefenderConfig.st_at().variant_name == "Prefender-ST+AT"
+    assert PrefenderConfig.at_rp().variant_name == "Prefender-AT+RP"
+
+
+def test_prefender_ignores_stores():
+    prefender = Prefender(PrefenderConfig.full(8), AMAP)
+    assert prefender.observe(obs(0x10200, scale=0x200, op="store"), absent) == []
+
+
+def test_prefender_st_and_at_compose():
+    prefender = Prefender(PrefenderConfig.st_at(8), AMAP)
+    requests = prefender.observe(obs(0x10200, scale=0x200), absent)
+    assert any(r.component == "st" for r in requests)
+
+
+def test_prefender_rp_records_even_without_st():
+    prefender = Prefender(PrefenderConfig.at_rp(), AMAP)
+    # A scaled victim load records into the scale buffer...
+    prefender.observe(obs(0x10200, pc=0x1, scale=0x200), absent)
+    assert len(prefender.record_protector.scale_buffer) == 1
+    # ...and a matching probe gets RP-guided prefetching immediately.
+    requests = prefender.observe(obs(0x10200 + 0x400, pc=0x2), absent)
+    assert any(r.component == "rp" for r in requests)
+
+
+def test_prefender_protected_buffer_count():
+    prefender = Prefender(PrefenderConfig.full(8), AMAP)
+    assert prefender.protected_buffer_count() == 0
+    prefender.observe(obs(0x10200, pc=0x1, scale=0x200), absent)
+    assert prefender.protected_buffer_count() >= 1
+
+
+def test_prefender_reset():
+    prefender = Prefender(PrefenderConfig.full(8), AMAP)
+    prefender.observe(obs(0x10200, pc=0x1, scale=0x200), absent)
+    prefender.reset()
+    assert prefender.protected_buffer_count() == 0
+    assert len(prefender.record_protector.scale_buffer) == 0

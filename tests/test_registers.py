@@ -1,0 +1,83 @@
+"""Register file semantics."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.isa.registers import (
+    RegisterFile,
+    register_index,
+    register_name,
+    to_signed,
+)
+
+
+def test_register_index_names():
+    assert register_index("r0") == 0
+    assert register_index("r31") == 31
+    assert register_index("zero") == 0
+    assert register_index("sp") == 30
+    assert register_index("ra") == 31
+    assert register_index("R5") == 5  # case-insensitive
+
+
+def test_register_index_rejects_bad_names():
+    for bad in ("r32", "x1", "", "r-1", "reg1"):
+        with pytest.raises(ExecutionError):
+            register_index(bad)
+
+
+def test_register_name_roundtrip():
+    for index in range(32):
+        assert register_index(register_name(index)) == index
+    with pytest.raises(ExecutionError):
+        register_name(32)
+
+
+def test_zero_register_is_hardwired():
+    regs = RegisterFile()
+    regs.write(0, 12345)
+    assert regs.read(0) == 0
+
+
+def test_write_masks_to_64_bits():
+    regs = RegisterFile()
+    regs.write(1, 1 << 70)
+    assert regs.read(1) == 0
+    regs.write(1, (1 << 64) + 5)
+    assert regs.read(1) == 5
+
+
+def test_negative_values_wrap():
+    regs = RegisterFile()
+    regs.write(1, -1)
+    assert regs.read(1) == (1 << 64) - 1
+    assert regs.read_signed(1) == -1
+
+
+def test_to_signed():
+    assert to_signed(0) == 0
+    assert to_signed((1 << 64) - 1) == -1
+    assert to_signed(1 << 63) == -(1 << 63)
+    assert to_signed(5) == 5
+
+
+def test_snapshot_restore():
+    regs = RegisterFile()
+    regs.write(3, 42)
+    snapshot = regs.snapshot()
+    regs.write(3, 99)
+    regs.restore(snapshot)
+    assert regs.read(3) == 42
+
+
+def test_snapshot_is_independent():
+    regs = RegisterFile()
+    snapshot = regs.snapshot()
+    snapshot[5] = 777
+    assert regs.read(5) == 0
+
+
+def test_repr_shows_nonzero():
+    regs = RegisterFile()
+    regs.write(7, 0xAB)
+    assert "r7" in repr(regs)

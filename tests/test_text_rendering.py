@@ -1,0 +1,64 @@
+"""Table and chart text rendering."""
+
+import pytest
+
+from repro.utils.tables import render_table
+from repro.utils.textplot import ascii_series, histogram_line
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["a", 0.5], ["long-name", 0.015]])
+    lines = text.splitlines()
+    assert "name" in lines[0]
+    assert "+50.000%" in text
+    assert "+1.500%" in text
+
+
+def test_render_table_title():
+    text = render_table(["c"], [["x"]], title="My Table")
+    assert text.startswith("My Table\n========")
+
+
+def test_render_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [["only-one"]])
+
+
+def test_render_table_custom_float_format():
+    text = render_table(["v"], [[0.123456]], float_format="{:.2f}")
+    assert "0.12" in text
+
+
+def test_ascii_series_basic():
+    chart = ascii_series([0, 1, 2], {"latency": [1.0, 5.0, 1.0]})
+    assert "l=latency" in chart
+    assert "5.0" in chart
+
+
+def test_ascii_series_multiple():
+    chart = ascii_series([0, 1], {"one": [1, 2], "two": [2, 1]})
+    assert "o=one" in chart and "t=two" in chart
+
+
+def test_ascii_series_empty():
+    assert ascii_series([], {}, title="empty") == "empty"
+
+
+def test_ascii_series_length_mismatch():
+    with pytest.raises(ValueError):
+        ascii_series([0, 1], {"bad": [1]})
+
+
+def test_ascii_series_flat_line():
+    chart = ascii_series([0, 1], {"flat": [3, 3]})
+    assert "flat" in chart
+
+
+def test_histogram_line():
+    text = histogram_line({"st": 10, "at": 100})
+    assert "st" in text and "at" in text
+    assert text.count("#") > 0
+
+
+def test_histogram_empty():
+    assert histogram_line({}) == "(no counts)"

@@ -1,0 +1,95 @@
+"""Workload models: registry, buildability, and pattern properties."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import run_program
+from repro.workloads import (
+    SPEC2006_NAMES,
+    SPEC2017_NAMES,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.kernels import pointer_chain_addresses
+
+
+def test_registry_contents():
+    assert len(SPEC2006_NAMES) == 12
+    assert len(SPEC2017_NAMES) == 9
+    assert "429.mcf" in SPEC2006_NAMES
+    assert "510.parest_r" in SPEC2017_NAMES
+    assert set(workload_names("spec2006")) == set(SPEC2006_NAMES)
+
+
+def test_unknown_workload():
+    with pytest.raises(ConfigError):
+        get_workload("000.nonsense")
+
+
+@pytest.mark.parametrize("name", SPEC2006_NAMES + SPEC2017_NAMES)
+def test_all_workloads_build_and_run(name):
+    program = get_workload(name).program(0.05)
+    result = run_program(program, SystemConfig())
+    assert result.instructions > 10
+    assert result.cycles > 0
+
+
+def test_scale_stretches_programs():
+    workload = get_workload("462.libquantum")
+    small = run_program(workload.program(0.05), SystemConfig())
+    large = run_program(workload.program(0.2), SystemConfig())
+    assert large.instructions > small.instructions * 2
+
+
+def test_compute_only_workloads_have_no_memory_traffic():
+    for name in ("999.specrand", "548.exchange2_r"):
+        result = run_program(get_workload(name).program(0.1), SystemConfig())
+        assert result.l1d_stats[0]["demand_accesses"] == 0, name
+
+
+def test_pointer_chain_is_full_cycle():
+    pairs = pointer_chain_addresses(0x1000_0000, nodes=64)
+    next_of = dict(pairs)
+    seen = set()
+    node = pairs[0][0]
+    for _ in range(64):
+        assert node not in seen
+        seen.add(node)
+        node = next_of[node]
+    assert node == pairs[0][0]  # cycle closes
+    assert len(seen) == 64
+
+
+def test_pointer_chain_has_no_constant_stride():
+    pairs = pointer_chain_addresses(0x1000_0000, nodes=256)
+    next_of = dict(pairs)
+    node = pairs[0][0]
+    strides = set()
+    for _ in range(50):
+        nxt = next_of[node]
+        strides.add(nxt - node)
+        node = nxt
+    assert len(strides) > 10
+
+
+def test_pointer_chain_deterministic():
+    a = pointer_chain_addresses(0x1000_0000, nodes=64, seed=1)
+    b = pointer_chain_addresses(0x1000_0000, nodes=64, seed=1)
+    c = pointer_chain_addresses(0x1000_0000, nodes=64, seed=2)
+    assert a == b
+    assert a != c
+
+
+def test_parest_index_gaps_never_repeat_adjacent():
+    """The property that defeats the Stride prefetcher (paper: 0.7%)."""
+    gaps = [1, 2, 1, 3, 1, 2, 1, 4]
+    doubled = gaps + gaps
+    assert all(doubled[i] != doubled[i + 1] for i in range(len(gaps)))
+
+
+def test_workload_patterns_described():
+    for name in SPEC2006_NAMES + SPEC2017_NAMES:
+        workload = get_workload(name)
+        assert workload.pattern, name
+        assert workload.suite in ("spec2006", "spec2017")
