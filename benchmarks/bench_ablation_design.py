@@ -10,31 +10,43 @@ choices carry the defense:
 * Access-buffer count under C3 noise: with RP disabled, more buffers than
   distinct noise PCs restore the AT defense — buffer count is a (costly)
   alternative to the Record Protector.
+
+Each sweep declares its full attack grid up front and submits it as one
+:func:`repro.runner.run_batch`; because the batch keys hash *every*
+``PrefenderConfig`` field, specs differing only in ``at_threshold`` (the
+knob the old experiment memoiser dropped) can never share a result.
 """
 
 from dataclasses import replace
 
-from repro.attacks import FlushReloadAttack
 from repro.core.config import PrefenderConfig
+from repro.runner import AttackJob, run_batch
 from repro.sim.config import PrefetcherSpec, SystemConfig
 
 
-def run_attack(config: PrefenderConfig, **attack_kwargs):
-    attack = FlushReloadAttack(**attack_kwargs)
-    return attack.run(
-        SystemConfig(prefetcher=PrefetcherSpec(kind="prefender", prefender=config))
+def prefender_system(config: PrefenderConfig) -> SystemConfig:
+    return SystemConfig(
+        prefetcher=PrefetcherSpec(kind="prefender", prefender=config)
     )
 
 
 def test_at_threshold_sweep(benchmark):
+    thresholds = (2, 4, 6)
+
     def sweep():
-        results = {}
-        for threshold in (2, 4, 6):
-            config = replace(
-                PrefenderConfig.at_only().with_buffers(8), at_threshold=threshold
+        jobs = [
+            AttackJob.build(
+                "flush-reload",
+                prefender_system(
+                    replace(
+                        PrefenderConfig.at_only().with_buffers(8),
+                        at_threshold=threshold,
+                    )
+                ),
             )
-            results[threshold] = run_attack(config)
-        return results
+            for threshold in thresholds
+        ]
+        return dict(zip(thresholds, run_batch(jobs)))
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     for threshold, outcome in results.items():
@@ -47,13 +59,15 @@ def test_buffer_count_vs_c3_noise(benchmark):
     """More buffers than noise PCs is the brute-force alternative to RP."""
 
     def sweep():
-        few = run_attack(
-            PrefenderConfig.at_only().with_buffers(8), noise_c3=True
-        )
-        many = run_attack(
-            PrefenderConfig.at_only().with_buffers(32), noise_c3=True
-        )
-        return few, many
+        jobs = [
+            AttackJob.build(
+                "flush-reload",
+                prefender_system(PrefenderConfig.at_only().with_buffers(count)),
+                noise_c3=True,
+            )
+            for count in (8, 32)
+        ]
+        return run_batch(jobs)
 
     few, many = benchmark.pedantic(sweep, rounds=1, iterations=1)
     assert few.attack_succeeded, "8 buffers thrashed by 12 noise PCs"
@@ -65,15 +79,22 @@ def test_st_scale_window_boundary(benchmark):
 
     def run():
         # scale == 64 == cacheline: ST must stay silent (sc not > cacheline).
-        outcome = run_attack(PrefenderConfig.st_only(), secret=20)
+        jobs = [
+            AttackJob.build(
+                "flush-reload",
+                prefender_system(PrefenderConfig.st_only()),
+                secret=20,
+            ),
+            AttackJob.build(
+                "flush-reload",
+                prefender_system(PrefenderConfig.st_only()),
+                secret=20,
+                scale=64,
+                num_indices=64,
+            ),
+        ]
+        outcome, at_64 = run_batch(jobs)
         inrange = outcome.run_result.prefetch_counts[0].get("st", 0)
-        at_64 = FlushReloadAttack(secret=20, scale=64, num_indices=64).run(
-            SystemConfig(
-                prefetcher=PrefetcherSpec(
-                    kind="prefender", prefender=PrefenderConfig.st_only()
-                )
-            )
-        )
         silent = at_64.run_result.prefetch_counts[0].get("st", 0)
         return inrange, silent
 

@@ -14,6 +14,8 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+# The runner's on-disk JSON store (repro.runner.ResultStore) lives here.
+CACHE_DIR = RESULTS_DIR / "cache"
 
 
 def perf_scale() -> float:
@@ -25,7 +27,8 @@ def emit(capsys):
     """Print a rendered artifact to the real terminal and archive it."""
 
     def _emit(name: str, text: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
+        # parents=True: a fresh checkout has no benchmarks/ intermediates.
+        CACHE_DIR.mkdir(parents=True, exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         with capsys.disabled():
             print()

@@ -5,8 +5,28 @@ Commands:
 * ``attack``   — run one attack against one defense and print the verdict
 * ``figure8``  — regenerate the security matrix (one attack/challenge)
 * ``table``    — regenerate a performance table (4, 5 or 6)
+* ``sweep``    — improvements for an arbitrary workload × prefetcher grid
 * ``hwcost``   — print the Section V-E resource report
 * ``ablation`` — run the Table II related-work ablation
+
+Simulation batches go through :mod:`repro.runner`: every run is keyed by a
+content hash over the *full* configuration (workload, scale and every
+``SystemConfig``/``PrefenderConfig``/``CoreConfig``/``HierarchyConfig``
+field), deduplicated, and sharded across processes.
+
+* ``--jobs N`` (``table``, ``sweep``, ``ablation``) runs up to N
+  simulations in parallel; ``--jobs 0`` uses every CPU core.  Output is
+  byte-identical to a sequential run.
+* ``--store`` (``table``, ``sweep``) persists results as JSON under
+  ``benchmarks/results/cache/`` (relative to the invocation directory) and
+  reuses them on later invocations; keys are lossless, so a cached result
+  is only ever served for the exact same configuration.
+
+Examples::
+
+    python -m repro table 4 --scale 0.5 --jobs 4
+    python -m repro sweep --workloads 429.mcf,462.libquantum \\
+        --kinds prefender,tagged --buffers 16,32 --jobs 0 --store
 """
 
 from __future__ import annotations
@@ -14,37 +34,60 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.attacks import (
-    EvictReloadAttack,
-    EvictTimeAttack,
-    FlushReloadAttack,
-    PrimeProbeAttack,
-)
+from repro.errors import ConfigError
 from repro.experiments import figure8, related, table4, table5, table6
-from repro.experiments.common import security_spec
+from repro.experiments.common import improvement_rows, security_spec, table_spec
 from repro.hwcost import estimate, render_report
-from repro.sim.config import SystemConfig
-
-ATTACKS = {
-    "flush-reload": FlushReloadAttack,
-    "evict-reload": EvictReloadAttack,
-    "prime-probe": PrimeProbeAttack,
-    "evict-time": EvictTimeAttack,
-}
+from repro.runner import ATTACK_KINDS, DEFAULT_CACHE_DIR, AttackJob, ResultStore
+from repro.sim.config import PREFETCHER_KINDS, PrefetcherSpec, SystemConfig
+from repro.utils.tables import render_table
+from repro.workloads import SPEC2006_NAMES, SPEC2017_NAMES, workload_names
 
 DEFENSES = ("Base", "ST", "AT", "ST+AT", "AT+RP", "FULL")
 
 
+def _scale_arg(text: str) -> float:
+    """Positive-float argparse type for ``--scale`` (rejects <= 0)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid scale {text!r}") from None
+    if not value > 0:  # also rejects NaN
+        # Backed by the same ConfigError SimJob raises if a bad scale ever
+        # reaches job construction by another path.
+        error = ConfigError(
+            f"--scale must be > 0 (workload loop counts scale with it), "
+            f"got {value}"
+        )
+        raise argparse.ArgumentTypeError(str(error)) from error
+    return value
+
+
+def _jobs_arg(text: str) -> int:
+    """Worker count for ``--jobs``: >= 1, or 0 for one per CPU core."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid job count {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"--jobs must be >= 0, got {value}")
+    return value
+
+
+def _store_for(args: argparse.Namespace) -> ResultStore | None:
+    return ResultStore(DEFAULT_CACHE_DIR) if args.store else None
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
-    attack_cls = ATTACKS[args.attack]
-    attack = attack_cls(
+    job = AttackJob.build(
+        args.attack,
+        SystemConfig(prefetcher=security_spec(args.defense)),
         noise_c3=args.c3,
         noise_c4=args.c4,
         victim_mode="spectre" if args.spectre else "direct",
         cross_core=args.cross_core,
     )
-    outcome = attack.run(SystemConfig(prefetcher=security_spec(args.defense)))
-    print(outcome.summary())
+    print(job.run().summary())
     return 0
 
 
@@ -56,8 +99,53 @@ def _cmd_figure8(args: argparse.Namespace) -> int:
 
 def _cmd_table(args: argparse.Namespace) -> int:
     module = {4: table4, 5: table5, 6: table6}[args.number]
-    result = module.run(scale=args.scale)
+    result = module.run(scale=args.scale, jobs=args.jobs, store=_store_for(args))
     print(module.render(result))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.workloads:
+        names = args.workloads.split(",")
+    else:
+        names = {
+            "spec2006": SPEC2006_NAMES,
+            "spec2017": SPEC2017_NAMES,
+            "all": workload_names(),
+        }[args.suite]
+    try:
+        buffers = [int(b) for b in args.buffers.split(",")]
+    except ValueError:
+        raise ConfigError(
+            f"--buffers must be comma-separated integers, got {args.buffers!r}"
+        ) from None
+    specs: list[tuple[str, PrefetcherSpec]] = []
+    for kind in args.kinds.split(","):
+        if kind not in PREFETCHER_KINDS:
+            raise ConfigError(
+                f"unknown prefetcher kind {kind!r}; "
+                f"choose from {PREFETCHER_KINDS}"
+            )
+        if kind == "none":
+            specs.append(("Baseline", PrefetcherSpec(kind="none")))
+        elif "prefender" in kind:
+            for count in buffers:
+                specs.append(
+                    (f"{kind}/{count}", table_spec(kind, count, with_rp=args.rp))
+                )
+        else:
+            specs.append((kind, table_spec(kind)))
+    rows, averages = improvement_rows(
+        names, specs, args.scale, workers=args.jobs, store=_store_for(args)
+    )
+    rows.append(["Avg."] + averages)
+    print(
+        render_table(
+            ["benchmark"] + [header for header, _ in specs],
+            rows,
+            title=f"Sweep: improvement vs baseline (scale {args.scale})",
+        )
+    )
     return 0
 
 
@@ -67,7 +155,7 @@ def _cmd_hwcost(args: argparse.Namespace) -> int:
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
-    rows = related.run()
+    rows = related.run(jobs=args.jobs)
     print(related.render(rows))
     return 0 if all(row.matches_paper for row in rows) else 1
 
@@ -80,7 +168,7 @@ def main(argv: list[str] | None = None) -> int:
     commands = parser.add_subparsers(dest="command", required=True)
 
     attack = commands.add_parser("attack", help="run one attack")
-    attack.add_argument("attack", choices=sorted(ATTACKS))
+    attack.add_argument("attack", choices=sorted(ATTACK_KINDS))
     attack.add_argument("--defense", choices=DEFENSES, default="Base")
     attack.add_argument("--c3", action="store_true", help="noisy instructions")
     attack.add_argument("--c4", action="store_true", help="noisy accesses")
@@ -93,18 +181,56 @@ def main(argv: list[str] | None = None) -> int:
 
     table = commands.add_parser("table", help="performance tables")
     table.add_argument("number", type=int, choices=(4, 5, 6))
-    table.add_argument("--scale", type=float, default=0.5)
+    table.add_argument("--scale", type=_scale_arg, default=0.5)
+    table.add_argument(
+        "--jobs", type=_jobs_arg, default=1,
+        help="parallel simulation processes (0 = all cores)",
+    )
+    table.add_argument(
+        "--store", action="store_true",
+        help=f"persist/reuse results under {DEFAULT_CACHE_DIR}",
+    )
     table.set_defaults(handler=_cmd_table)
+
+    sweep = commands.add_parser(
+        "sweep", help="arbitrary workload x prefetcher improvement grid"
+    )
+    sweep.add_argument(
+        "--suite", choices=("spec2006", "spec2017", "all"), default="spec2006"
+    )
+    sweep.add_argument(
+        "--workloads", default="",
+        help="comma-separated workload names (overrides --suite)",
+    )
+    sweep.add_argument(
+        "--kinds", default="prefender",
+        help=f"comma-separated prefetcher kinds from {PREFETCHER_KINDS}",
+    )
+    sweep.add_argument(
+        "--buffers", default="32",
+        help="comma-separated access-buffer counts for prefender kinds",
+    )
+    sweep.add_argument(
+        "--rp", action="store_true", help="enable the Record Protector"
+    )
+    sweep.add_argument("--scale", type=_scale_arg, default=0.5)
+    sweep.add_argument("--jobs", type=_jobs_arg, default=1)
+    sweep.add_argument("--store", action="store_true")
+    sweep.set_defaults(handler=_cmd_sweep)
 
     hwcost = commands.add_parser("hwcost", help="Section V-E report")
     hwcost.add_argument("--buffers", type=int, default=32)
     hwcost.set_defaults(handler=_cmd_hwcost)
 
     ablation = commands.add_parser("ablation", help="Table II ablation")
+    ablation.add_argument("--jobs", type=_jobs_arg, default=1)
     ablation.set_defaults(handler=_cmd_ablation)
 
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ConfigError as error:
+        parser.error(str(error))
 
 
 if __name__ == "__main__":

@@ -9,11 +9,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import perf_config, table_spec
+from repro.experiments.common import batch_results, sim_job, table_spec
+from repro.runner import ResultStore
 from repro.sim.config import PrefetcherSpec
-from repro.sim.simulator import run_program
 from repro.utils.tables import render_table
-from repro.workloads import SPEC2006_NAMES, get_workload
+from repro.workloads import SPEC2006_NAMES
 
 CONFIGS: list[tuple[str, PrefetcherSpec]] = [
     ("Baseline", PrefetcherSpec(kind="none")),
@@ -45,15 +45,26 @@ class MissLatencyResult:
         }
 
 
-def run(scale: float = 1.0, workloads: list[str] | None = None) -> MissLatencyResult:
+def run(
+    scale: float = 1.0,
+    workloads: list[str] | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+) -> MissLatencyResult:
     names = workloads or SPEC2006_NAMES
+    grid = [(name, spec) for name in names for _, spec in CONFIGS]
+    results = batch_results(
+        [sim_job(name, spec, scale) for name, spec in grid],
+        workers=jobs,
+        store=store,
+    )
+    latency = {
+        cell: result.l1d_stats[0]["miss_latency_total"]
+        for cell, result in zip(grid, results)
+    }
     rows: list[list[object]] = []
     for name in names:
-        workload = get_workload(name)
-        miss_latencies = []
-        for _, spec in CONFIGS:
-            result = run_program(workload.program(scale), perf_config(spec))
-            miss_latencies.append(result.l1d_stats[0]["miss_latency_total"])
+        miss_latencies = [latency[(name, spec)] for _, spec in CONFIGS]
         baseline = miss_latencies[0]
         if baseline:
             normalized = [value / baseline for value in miss_latencies]

@@ -9,10 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import perf_config, table_spec
-from repro.sim.simulator import run_program
+from repro.experiments.common import batch_results, sim_job, table_spec
+from repro.runner import ResultStore
 from repro.utils.tables import render_table
-from repro.workloads import SPEC2006_NAMES, get_workload
+from repro.workloads import SPEC2006_NAMES
 
 COMPONENTS = ("st", "at", "rp")
 
@@ -34,6 +34,8 @@ def run(
     scale: float = 1.0,
     workloads: list[str] | None = None,
     basic: str | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> PrefetchCountResult:
     """Count ST/AT/RP prefetches under the full PREFENDER.
 
@@ -43,10 +45,11 @@ def run(
     kind = "prefender" if basic is None else f"prefender+{basic}"
     spec = table_spec(kind, 32, with_rp=True)
     names = workloads or SPEC2006_NAMES
+    results = batch_results(
+        [sim_job(name, spec, scale) for name in names], workers=jobs, store=store
+    )
     rows: list[list[object]] = []
-    for name in names:
-        workload = get_workload(name)
-        result = run_program(workload.program(scale), perf_config(spec))
+    for name, result in zip(names, results):
         counts = result.prefetch_counts[0]
         rows.append([name] + [counts.get(component, 0) for component in COMPONENTS])
     return PrefetchCountResult(

@@ -7,12 +7,12 @@ scaled addressing protect many of the 32 buffers for long stretches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.experiments.common import perf_config, table_spec
-from repro.sim.simulator import build_system
+from repro.experiments.common import batch_results, sim_job, table_spec
+from repro.runner import ResultStore
 from repro.utils.textplot import ascii_series
-from repro.workloads import SPEC2006_NAMES, get_workload
+from repro.workloads import SPEC2006_NAMES
 
 
 @dataclass
@@ -30,25 +30,27 @@ def run(
     scale: float = 1.0,
     workloads: list[str] | None = None,
     samples: int = 40,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> list[ProtectionSeries]:
     names = workloads or SPEC2006_NAMES
     spec = table_spec("prefender", 32, with_rp=True)
+    # Pre-measure run lengths (one probe batch) to place samples uniformly.
+    # The perf core never speculates, so every scheduler step retires one
+    # instruction and the retired-instruction count *is* the step count.
+    probe_jobs = [sim_job(name, spec, scale) for name in names]
+    probes = batch_results(probe_jobs, workers=jobs, store=store)
+    totals = [probe.instructions for probe in probes]
+    sampled = batch_results(
+        [
+            replace(job, sample_interval=max(1, total // samples))
+            for job, total in zip(probe_jobs, totals)
+        ],
+        workers=jobs,
+        store=store,
+    )
     series = []
-    for name in names:
-        program = get_workload(name).program(scale)
-        # Pre-measure the run length to place samples uniformly.
-        config = perf_config(spec)
-        probe_system = build_system([program], config)
-        total_steps = 0
-        while any(not core.halted for core in probe_system.cores):
-            probe_system.cores[0].step()
-            total_steps += 1
-            if total_steps > 50_000_000:  # pragma: no cover - guard
-                break
-        interval = max(1, total_steps // samples)
-        program2 = get_workload(name).program(scale)
-        system = build_system([program2], config)
-        result = system.run(sample_interval=interval)
+    for name, total_steps, result in zip(names, totals, sampled):
         progress = [
             min(1.0, step / total_steps) for step, _ in result.samples
         ]

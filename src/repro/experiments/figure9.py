@@ -10,17 +10,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.attacks import EvictReloadAttack, FlushReloadAttack, PrimeProbeAttack
 from repro.experiments.common import security_spec
+from repro.runner import AttackJob, run_batch
 from repro.sim.config import SystemConfig
 from repro.utils.textplot import ascii_series
 
 CYCLES_PER_MICROSECOND = 2000
 
 ATTACKS = {
-    "Flush+Reload": FlushReloadAttack,
-    "Evict+Reload": EvictReloadAttack,
-    "Prime+Probe": PrimeProbeAttack,
+    "Flush+Reload": "flush-reload",
+    "Evict+Reload": "evict-reload",
+    "Prime+Probe": "prime-probe",
 }
 
 
@@ -45,21 +45,24 @@ def _binned(timeline: list[tuple[int, str, int]]) -> dict[str, list[tuple[float,
     return series
 
 
-def run(noisy: bool = False) -> list[TimelinePanel]:
+def run(noisy: bool = False, jobs: int = 1) -> list[TimelinePanel]:
     """Panels a-c (``noisy=False``) or d-f (``noisy=True``)."""
     defense = "FULL" if noisy else "ST+AT"
     options = {"noise_c3": True, "noise_c4": True} if noisy else {}
+    system = SystemConfig(prefetcher=security_spec(defense))
+    attack_jobs = [
+        AttackJob.build(kind, system, **options) for kind in ATTACKS.values()
+    ]
+    outcomes = run_batch(attack_jobs, workers=jobs)
     panels = []
-    for attack_name, attack_cls in ATTACKS.items():
-        attack = attack_cls(**options)
-        outcome = attack.run(SystemConfig(prefetcher=security_spec(defense)))
+    for attack_name, outcome in zip(ATTACKS, outcomes):
         timeline = outcome.run_result.prefetch_timelines[0]
         series = _binned(timeline)
         totals = {component: points[-1][1] for component, points in series.items()}
         panels.append(
             TimelinePanel(
                 attack=attack_name,
-                challenges=attack.options.challenges,
+                challenges=outcome.challenges,
                 defense=defense,
                 series=series,
                 totals=totals,

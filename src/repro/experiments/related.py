@@ -16,13 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.attacks import (
-    EvictReloadAttack,
-    EvictTimeAttack,
-    FlushReloadAttack,
-    PrimeProbeAttack,
-)
 from repro.core.config import PrefenderConfig
+from repro.runner import AttackJob, run_batch
 from repro.sim.config import PrefetcherSpec, SystemConfig
 
 # Table I (condensed): approach class and reported performance overhead.
@@ -61,10 +56,10 @@ TABLE_II_CLAIMS = {
 }
 
 ATTACKS = {
-    "Flush+Reload": FlushReloadAttack,
-    "Evict+Reload": EvictReloadAttack,
-    "Prime+Probe": PrimeProbeAttack,
-    "Evict+Time": EvictTimeAttack,
+    "Flush+Reload": "flush-reload",
+    "Evict+Reload": "evict-reload",
+    "Prime+Probe": "prime-probe",
+    "Evict+Time": "evict-time",
 }
 
 
@@ -89,12 +84,20 @@ def _spec(defense: str) -> PrefetcherSpec:
     return PrefetcherSpec(kind=defense)
 
 
-def run() -> list[AblationRow]:
-    """Run the verifiable Table II rows."""
+def run(jobs: int = 1) -> list[AblationRow]:
+    """Run the verifiable Table II rows (declared as one attack batch)."""
+    claims = list(TABLE_II_CLAIMS.items())
+    attack_jobs = [
+        AttackJob.build(
+            ATTACKS[attack_name], SystemConfig(prefetcher=_spec(defense))
+        )
+        for (defense, attack_name, _single), _ in claims
+    ]
+    outcomes = run_batch(attack_jobs, workers=jobs)
     rows = []
-    for (defense, attack_name, _single), expected in TABLE_II_CLAIMS.items():
-        attack = ATTACKS[attack_name]()
-        outcome = attack.run(SystemConfig(prefetcher=_spec(defense)))
+    for ((defense, attack_name, _single), expected), outcome in zip(
+        claims, outcomes
+    ):
         if attack_name == "Evict+Time":
             # "Defended" for a whole-run timing channel means the anomalous
             # round became ambiguous; a single surviving candidate (even if

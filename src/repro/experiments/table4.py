@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import improvement, table_spec
+from repro.experiments.common import improvement_rows, table_spec
+from repro.runner import ResultStore
 from repro.utils.tables import render_table
 from repro.workloads import SPEC2006_NAMES
 
@@ -60,8 +61,15 @@ def run(
     with_rp: bool = False,
     workloads: list[str] | None = None,
     buffer_sweep: tuple[int, ...] | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> TableResult:
-    """Regenerate Table IV (or Table V with ``with_rp=True``)."""
+    """Regenerate Table IV (or Table V with ``with_rp=True``).
+
+    The full workload × column grid (plus the shared baseline) is declared
+    up front and submitted as one runner batch; ``jobs`` shards it across
+    processes without changing a byte of the output.
+    """
     names = workloads or SPEC2006_NAMES
     columns = _columns(with_rp)
     if buffer_sweep is not None:
@@ -71,15 +79,9 @@ def run(
             for header, spec in columns
             if "/" not in header or header.split("/")[-1] in keep
         ]
-    rows: list[list[object]] = []
-    for name in names:
-        row: list[object] = [name]
-        for _, spec in columns:
-            row.append(improvement(name, spec, scale))
-        rows.append(row)
-    averages = [
-        sum(row[i + 1] for row in rows) / len(rows) for i in range(len(columns))
-    ]
+    rows, averages = improvement_rows(
+        names, columns, scale, workers=jobs, store=store
+    )
     title = (
         "Table V: SPEC2006 improvement with Record Protector"
         if with_rp

@@ -10,9 +10,14 @@ from __future__ import annotations
 from repro.experiments import table4
 
 
-def run(scale: float = 1.0, workloads=None, buffer_sweep=None):
+def run(scale: float = 1.0, workloads=None, buffer_sweep=None, jobs=1, store=None):
     return table4.run(
-        scale=scale, with_rp=True, workloads=workloads, buffer_sweep=buffer_sweep
+        scale=scale,
+        with_rp=True,
+        workloads=workloads,
+        buffer_sweep=buffer_sweep,
+        jobs=jobs,
+        store=store,
     )
 
 

@@ -6,8 +6,9 @@ full (Tagged); Stride; ST+AT (Stride); full (Stride).
 
 from __future__ import annotations
 
-from repro.experiments.common import improvement, table_spec
+from repro.experiments.common import improvement_rows, table_spec
 from repro.experiments.table4 import TableResult
+from repro.runner import ResultStore
 from repro.utils.tables import render_table
 from repro.workloads import SPEC2017_NAMES
 
@@ -25,19 +26,18 @@ def _columns() -> list[tuple[str, object]]:
     ]
 
 
-def run(scale: float = 1.0, workloads: list[str] | None = None) -> TableResult:
-    """Regenerate Table VI."""
+def run(
+    scale: float = 1.0,
+    workloads: list[str] | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+) -> TableResult:
+    """Regenerate Table VI (full grid submitted as one runner batch)."""
     names = workloads or SPEC2017_NAMES
     columns = _columns()
-    rows: list[list[object]] = []
-    for name in names:
-        row: list[object] = [name]
-        for _, spec in columns:
-            row.append(improvement(name, spec, scale))
-        rows.append(row)
-    averages = [
-        sum(row[i + 1] for row in rows) / len(rows) for i in range(len(columns))
-    ]
+    rows, averages = improvement_rows(
+        names, columns, scale, workers=jobs, store=store
+    )
     return TableResult(
         title="Table VI: SPEC2017 improvement (32 access buffers)",
         headers=["benchmark"] + [header for header, _ in columns],

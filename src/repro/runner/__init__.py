@@ -1,0 +1,41 @@
+"""Simulation-job runner: lossless content keys, batching, disk store.
+
+Declare the full grid of runs an experiment needs, submit it as one
+:func:`run_batch`, and read the results back in input order:
+
+    from repro.runner import SimJob, run_batch
+
+    jobs = [SimJob(workload=name, scale=0.5, system=config)
+            for name in names for config in configs]
+    results = run_batch(jobs, workers=4)
+
+Keys are content hashes over *every* configuration dataclass field (see
+:mod:`repro.runner.job`), so two jobs differing in any knob — however
+obscure — never share a result.
+"""
+
+from repro.runner.executor import default_workers, run_batch
+from repro.runner.job import (
+    ATTACK_KINDS,
+    KEY_VERSION,
+    AttackJob,
+    SimJob,
+    SimResult,
+    fingerprint,
+    job_key,
+)
+from repro.runner.store import DEFAULT_CACHE_DIR, ResultStore
+
+__all__ = [
+    "ATTACK_KINDS",
+    "AttackJob",
+    "DEFAULT_CACHE_DIR",
+    "KEY_VERSION",
+    "ResultStore",
+    "SimJob",
+    "SimResult",
+    "default_workers",
+    "fingerprint",
+    "job_key",
+    "run_batch",
+]

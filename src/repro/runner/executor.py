@@ -1,0 +1,77 @@
+"""Batch execution of simulation jobs across CPU cores.
+
+``run_batch`` takes the *full* grid of jobs an experiment declares up
+front, deduplicates them by content key, satisfies what it can from the
+optional disk store, and shards the rest across a
+``ProcessPoolExecutor``.  Results always come back in input order, so a
+parallel table regeneration is byte-identical to a sequential one.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.errors import ConfigError
+from repro.runner.store import ResultStore
+
+
+def default_workers() -> int:
+    """Worker count when the caller asks for ``--jobs 0`` (= all cores)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _execute(job):
+    """Module-level trampoline so jobs pickle cleanly into pool workers."""
+    return job.run()
+
+
+def run_batch(jobs, workers: int = 1, store: ResultStore | None = None) -> list:
+    """Run a batch of jobs; results are returned in input order.
+
+    Args:
+        jobs: sequence of :class:`~repro.runner.job.SimJob` /
+            :class:`~repro.runner.job.AttackJob` (anything with ``key()``,
+            ``run()`` and a ``cacheable`` flag).  Duplicate keys are run
+            once and the result shared.
+        workers: process count; ``1`` runs inline (no pool), ``0`` means
+            one worker per CPU core.
+        store: optional on-disk store consulted before running and updated
+            after, for ``cacheable`` jobs only.
+    """
+    if workers < 0:
+        raise ConfigError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        workers = default_workers()
+    jobs = list(jobs)
+    keys = [job.key() for job in jobs]
+
+    results: dict[str, object] = {}
+    pending: list[tuple[str, object]] = []
+    pending_keys: set[str] = set()
+    for key, job in zip(keys, jobs):
+        if key in results or key in pending_keys:
+            continue
+        if store is not None and job.cacheable:
+            cached = store.get(key)
+            if cached is not None:
+                results[key] = cached
+                continue
+        pending_keys.add(key)
+        pending.append((key, job))
+
+    if workers == 1 or len(pending) <= 1:
+        for key, job in pending:
+            results[key] = _execute(job)
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = [(key, pool.submit(_execute, job)) for key, job in pending]
+            for key, future in futures:
+                results[key] = future.result()
+
+    if store is not None:
+        for key, job in pending:
+            if job.cacheable:
+                store.put(key, job, results[key])
+
+    return [results[key] for key in keys]

@@ -1,0 +1,214 @@
+"""Canonical simulation jobs with lossless, content-addressed keys.
+
+The experiment layer used to memoise runs behind a hand-written tuple key
+that encoded a handful of ``PrefenderConfig`` fields and silently rebuilt
+the rest from defaults — any sweep varying a non-encoded knob (e.g.
+``at_threshold``) read back cycles for the wrong configuration.  The job
+key here is derived *structurally*: :func:`fingerprint` walks every
+``dataclasses.fields`` entry of the full ``SystemConfig`` tree (prefetcher
+spec, PREFENDER knobs, core timing, hierarchy geometry), so a newly added
+config field participates in the key automatically and can never fall out
+of it again (``tests/test_runner.py`` asserts this field-by-field).
+
+Two job kinds cover everything the experiments run:
+
+* :class:`SimJob` — one workload program on one system config
+  (:func:`repro.sim.simulator.run_program`); returns a JSON-serialisable
+  :class:`SimResult`, so results can live in the on-disk store.
+* :class:`AttackJob` — one attack (by registry name) against one system
+  config; returns the full :class:`repro.attacks.AttackOutcome` (picklable
+  but not JSON-able, so attack jobs never hit the disk store).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.attacks import (
+    AttackOutcome,
+    EvictReloadAttack,
+    EvictTimeAttack,
+    FlushReloadAttack,
+    PrimeProbeAttack,
+)
+from repro.attacks.layout import AttackOptions
+from repro.cpu.system import RunResult
+from repro.errors import ConfigError
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import run_program
+from repro.workloads import get_workload
+
+#: Bump when the key schema or the simulator's observable semantics change;
+#: invalidates every on-disk store entry at once.
+KEY_VERSION = 1
+
+#: Attack registry names (shared with the CLI's ``attack`` command).
+ATTACK_KINDS = {
+    "flush-reload": FlushReloadAttack,
+    "evict-reload": EvictReloadAttack,
+    "prime-probe": PrimeProbeAttack,
+    "evict-time": EvictTimeAttack,
+}
+
+
+def fingerprint(value: object) -> object:
+    """Canonical JSON-able projection of a job or config value.
+
+    Dataclasses contribute *every* field (via ``dataclasses.fields``) plus
+    their class name; containers recurse; scalars pass through.  Anything
+    unrecognised is an error — silence here is exactly the bug this module
+    replaces.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out: dict[str, object] = {"__class__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            out[f.name] = fingerprint(getattr(value, f.name))
+        return out
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [fingerprint(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): fingerprint(val) for key, val in sorted(value.items())}
+    raise ConfigError(
+        f"cannot fingerprint {type(value).__name__!r} into a job key"
+    )
+
+
+def job_key(job: object) -> str:
+    """Content hash of a job: sha256 over its canonical JSON fingerprint."""
+    blob = json.dumps(
+        {"version": KEY_VERSION, "job": fingerprint(job)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class SimResult:
+    """JSON-serialisable summary of one simulation run.
+
+    Everything the performance tables and figures read; prefetch timelines
+    are deliberately excluded (they are large, and the only consumer —
+    Fig. 9 — runs attacks, whose jobs return full outcomes).
+    """
+
+    cycles: int
+    instructions: int
+    core_cycles: list[int]
+    core_instructions: list[int]
+    l1d_stats: list[dict]
+    l2_stats: dict
+    prefetch_counts: list[dict[str, int]]
+    samples: list[tuple[int, int]] = field(default_factory=list)
+
+    @classmethod
+    def from_run(cls, result: RunResult) -> "SimResult":
+        return cls(
+            cycles=result.cycles,
+            instructions=result.instructions,
+            core_cycles=list(result.core_cycles),
+            core_instructions=list(result.core_instructions),
+            l1d_stats=[dict(stats) for stats in result.l1d_stats],
+            l2_stats=dict(result.l2_stats),
+            prefetch_counts=[dict(counts) for counts in result.prefetch_counts],
+            samples=[(int(step), int(value)) for step, value in result.samples],
+        )
+
+    def to_json(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["samples"] = [[step, value] for step, value in self.samples]
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SimResult":
+        return cls(
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            core_cycles=list(data["core_cycles"]),
+            core_instructions=list(data["core_instructions"]),
+            l1d_stats=[dict(stats) for stats in data["l1d_stats"]],
+            l2_stats=dict(data["l2_stats"]),
+            prefetch_counts=[dict(counts) for counts in data["prefetch_counts"]],
+            samples=[(step, value) for step, value in data["samples"]],
+        )
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One workload program on one fully specified system configuration."""
+
+    workload: str
+    scale: float = 1.0
+    system: SystemConfig = field(default_factory=SystemConfig)
+    sample_interval: int | None = None
+    max_steps: int = 20_000_000
+
+    #: SimResults are JSON round-trippable, so the disk store may keep them.
+    cacheable = True
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigError(f"workload scale must be > 0, got {self.scale}")
+
+    def key(self) -> str:
+        return job_key(self)
+
+    def run(self) -> SimResult:
+        program = get_workload(self.workload).program(self.scale)
+        result = run_program(
+            program,
+            self.system,
+            max_steps=self.max_steps,
+            sample_interval=self.sample_interval,
+        )
+        return SimResult.from_run(result)
+
+
+@dataclass(frozen=True)
+class AttackJob:
+    """One attack (by registry name) against one system configuration."""
+
+    attack: str
+    system: SystemConfig = field(default_factory=SystemConfig)
+    options: AttackOptions | None = None
+    max_steps: int = 20_000_000
+
+    #: AttackOutcomes carry a full RunResult; pool-picklable, not JSON-able.
+    cacheable = False
+
+    def __post_init__(self) -> None:
+        if self.attack not in ATTACK_KINDS:
+            raise ConfigError(
+                f"unknown attack {self.attack!r}; "
+                f"choose from {sorted(ATTACK_KINDS)}"
+            )
+
+    @classmethod
+    def build(
+        cls, attack: str, system: SystemConfig | None = None, **option_overrides
+    ) -> "AttackJob":
+        """Job with the attack class's default options merged in.
+
+        Attack classes carry per-class option defaults (e.g. Prime+Probe's
+        64 monitored sets); instantiating one resolves the merge so the job
+        key reflects the *effective* options.
+        """
+        if attack not in ATTACK_KINDS:
+            raise ConfigError(
+                f"unknown attack {attack!r}; choose from {sorted(ATTACK_KINDS)}"
+            )
+        merged = ATTACK_KINDS[attack](**option_overrides).options
+        return cls(attack=attack, system=system or SystemConfig(), options=merged)
+
+    def key(self) -> str:
+        return job_key(self)
+
+    def run(self) -> AttackOutcome:
+        attack_cls = ATTACK_KINDS[self.attack]
+        attack = attack_cls() if self.options is None else attack_cls(self.options)
+        return attack.run(self.system, max_steps=self.max_steps)

@@ -1,0 +1,79 @@
+"""On-disk JSON result store for cacheable simulation jobs.
+
+One file per job key under ``benchmarks/results/cache/`` (or any directory
+you point a :class:`ResultStore` at).  Each file records the key-schema
+version, the job's full fingerprint (so a human can see exactly which
+configuration produced it) and the :class:`~repro.runner.job.SimResult`.
+A version bump, an unreadable file or a key mismatch all degrade to a
+cache miss — the store can never serve a result for the wrong config.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.runner.job import KEY_VERSION, SimResult, fingerprint
+
+#: CLI default, relative to the invocation directory (documented in
+#: ``python -m repro --help``); benchmarks/conftest.py creates it.
+DEFAULT_CACHE_DIR = pathlib.Path("benchmarks") / "results" / "cache"
+
+
+class ResultStore:
+    """Content-keyed ``{key}.json`` files with hit/miss counters."""
+
+    def __init__(self, root: pathlib.Path | str) -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> SimResult | None:
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if data.get("version") != KEY_VERSION or data.get("key") != key:
+            self.misses += 1
+            return None
+        try:
+            result = SimResult.from_json(data["result"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, job: object, result: SimResult) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": KEY_VERSION,
+            "key": key,
+            "job": fingerprint(job),
+            "result": result.to_json(),
+        }
+        # Write-then-rename so a crashed run never leaves a torn file that
+        # a later get() would have to classify.
+        tmp = self._path(key).with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, self._path(key))
+
+    def clear(self) -> int:
+        """Delete every stored result; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -56,6 +56,52 @@ def test_cli_table(capsys):
     assert "Table VI" in capsys.readouterr().out
 
 
+def test_cli_table_parallel_jobs(capsys):
+    assert main(["table", "6", "--scale", "0.1", "--jobs", "2"]) == 0
+    assert "Table VI" in capsys.readouterr().out
+
+
+def test_cli_rejects_non_positive_scale(capsys):
+    for bad in ("0", "-0.5", "nan-ish"):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table", "4", "--scale", bad])
+        assert excinfo.value.code == 2, bad
+    assert "--scale" in capsys.readouterr().err
+
+
+def test_cli_rejects_negative_jobs():
+    with pytest.raises(SystemExit):
+        main(["table", "4", "--jobs", "-1"])
+
+
+def test_cli_sweep(capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "--workloads",
+                "462.libquantum,999.specrand",
+                "--kinds",
+                "prefender,tagged",
+                "--buffers",
+                "16,32",
+                "--scale",
+                "0.1",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Sweep" in out
+    assert "prefender/16" in out and "prefender/32" in out and "tagged" in out
+
+
+def test_cli_sweep_rejects_unknown_kind(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--kinds", "warp-drive", "--scale", "0.1"])
+    assert "warp-drive" in capsys.readouterr().err
+
+
 def test_cli_rejects_unknown_command():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

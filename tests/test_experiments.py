@@ -15,10 +15,10 @@ def test_improvement_cache_reuses_runs():
     common.clear_cycle_cache()
     spec = PrefetcherSpec(kind="tagged")
     first = common.improvement("462.libquantum", spec, 0.05)
-    info_before = common._cycles.cache_info().hits
+    hits_before = common.cache_stats()["hits"]
     second = common.improvement("462.libquantum", spec, 0.05)
     assert first == second
-    assert common._cycles.cache_info().hits > info_before
+    assert common.cache_stats()["hits"] > hits_before
 
 
 def test_security_spec_variants():

@@ -1,0 +1,278 @@
+"""The simulation-job runner: lossless keys, parallel batches, disk store.
+
+The headline regression here: the old experiment memoiser keyed runs on
+``(kind, st, at, rp, num_access_buffers)`` and rebuilt every other config
+field from defaults, so sweeps varying ``at_threshold`` (or any other
+knob) silently shared cycle counts.  The runner's content key hashes every
+dataclass field, and ``test_job_key_covers_every_config_field`` walks the
+field sets structurally so a newly added knob can never fall out again.
+"""
+
+import dataclasses
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import PrefenderConfig
+from repro.cpu.core import CoreConfig
+from repro.errors import ConfigError
+from repro.experiments import common, table4
+from repro.mem.hierarchy import HierarchyConfig
+from repro.runner import (
+    AttackJob,
+    ResultStore,
+    SimJob,
+    SimResult,
+    job_key,
+    run_batch,
+)
+from repro.sim.config import PrefetcherSpec, SystemConfig
+
+# Fields whose values are constrained (enums, registry names): a generic
+# "+1"/flip perturbation would be invalid, so supply a valid alternative.
+SPECIAL_VALUES = {
+    "workload": "999.specrand",
+    "attack": "evict-reload",
+    "system.prefetcher.kind": "tagged",
+    "options.victim_mode": "spectre",
+}
+
+
+def _mutated(path: str, value):
+    if path in SPECIAL_VALUES:
+        assert SPECIAL_VALUES[path] != value
+        return SPECIAL_VALUES[path]
+    if isinstance(value, bool):
+        return not value
+    if value is None:
+        return 1024  # Optional[int] knobs (e.g. sample_interval)
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 0.25
+    if isinstance(value, str):
+        return value + "-x"
+    raise AssertionError(f"no perturbation rule for {path} = {value!r}")
+
+
+def _perturbations(obj, prefix=""):
+    """Yield (field path, copy of ``obj`` with exactly that field changed)."""
+    for spec_field in dataclasses.fields(obj):
+        value = getattr(obj, spec_field.name)
+        path = f"{prefix}{spec_field.name}"
+        if dataclasses.is_dataclass(value):
+            for sub_path, mutated in _perturbations(value, path + "."):
+                yield sub_path, replace(obj, **{spec_field.name: mutated})
+        else:
+            yield path, replace(obj, **{spec_field.name: _mutated(path, value)})
+
+
+def _base_sim_job() -> SimJob:
+    # st_at(8) keeps rp_enabled=False so every boolean flip stays a valid
+    # PrefenderConfig (rp_enabled=True needs at_enabled=True, which holds).
+    spec = PrefetcherSpec(kind="prefender", prefender=PrefenderConfig.st_at(8))
+    return SimJob(workload="462.libquantum", scale=0.25, system=common.perf_config(spec))
+
+
+def test_job_key_covers_every_config_field():
+    """Perturbing ANY field of the full config tree changes the key."""
+    base = _base_sim_job()
+    base_key = base.key()
+    seen_paths = set()
+    for path, mutated in _perturbations(base):
+        seen_paths.add(path)
+        assert mutated.key() != base_key, f"field {path} not in the job key"
+    # The walk is driven by dataclasses.fields, so it must have visited every
+    # field of every config dataclass — a new knob is covered automatically.
+    for config_cls in (
+        SimJob,
+        SystemConfig,
+        PrefetcherSpec,
+        PrefenderConfig,
+        CoreConfig,
+        HierarchyConfig,
+    ):
+        for spec_field in dataclasses.fields(config_cls):
+            # Scalar fields appear as a path leaf; nested-config fields
+            # appear as an intermediate segment of their children's paths.
+            assert any(
+                spec_field.name in path.split(".") for path in seen_paths
+            ), f"{config_cls.__name__}.{spec_field.name} never perturbed"
+
+
+def test_attack_job_key_covers_every_field():
+    # st_at keeps rp_enabled=False so boolean flips stay valid configs.
+    system = SystemConfig(
+        prefetcher=PrefetcherSpec(kind="prefender", prefender=PrefenderConfig.st_at(8))
+    )
+    base = AttackJob.build("flush-reload", system)
+    base_key = base.key()
+    for path, mutated in _perturbations(base):
+        assert mutated.key() != base_key, f"field {path} not in the job key"
+
+
+def test_job_keys_distinguish_previously_dropped_fields():
+    """Two specs differing only in a non-(kind,st,at,rp,buffers) field get
+    distinct keys — exactly what the old ``_spec_key`` tuple lost."""
+    base = PrefenderConfig.st_at(8)
+    for change in (
+        {"at_threshold": 6},
+        {"entries_per_buffer": 4},
+        {"st_max_prefetches": 5},
+        {"scale_buffer_entries": 2},
+        {"unprotect_prefetch_limit": 7},
+        {"unprotect_idle_cycles": 123},
+        {"at_max_prefetches": 3},
+    ):
+        job_a = common.sim_job(
+            "462.libquantum", PrefetcherSpec(kind="prefender", prefender=base), 0.1
+        )
+        job_b = common.sim_job(
+            "462.libquantum",
+            PrefetcherSpec(kind="prefender", prefender=replace(base, **change)),
+            0.1,
+        )
+        assert job_a.key() != job_b.key(), change
+
+
+def test_cycle_cache_regression_at_threshold():
+    """Headline bug: at_threshold sweeps must not share cached cycles.
+
+    Under the old memoiser both calls mapped to the same tuple key, so the
+    second returned the first's cycle count.  at_threshold genuinely changes
+    libquantum's timing (prefetching starts earlier), so distinct caching is
+    observable in the cycles themselves, not just in cache bookkeeping.
+    """
+    common.clear_cycle_cache()
+    make = lambda threshold: PrefetcherSpec(
+        kind="prefender",
+        prefender=replace(PrefenderConfig.full(8), at_threshold=threshold),
+    )
+    early = common.workload_cycles("462.libquantum", make(2), 0.1)
+    late = common.workload_cycles("462.libquantum", make(6), 0.1)
+    stats = common.cache_stats()
+    assert stats["misses"] == 2 and stats["hits"] == 0, stats
+    assert early != late, "at_threshold=2 vs 6 must simulate differently"
+    # Same spec again is a pure cache hit with the same answer.
+    assert common.workload_cycles("462.libquantum", make(2), 0.1) == early
+    assert common.cache_stats()["hits"] == 1
+
+
+def test_parallel_batch_matches_sequential_table4():
+    kwargs = dict(
+        scale=0.1, workloads=["462.libquantum", "999.specrand"], buffer_sweep=(32,)
+    )
+    common.clear_cycle_cache()
+    sequential = table4.render(table4.run(**kwargs))
+    common.clear_cycle_cache()
+    parallel = table4.render(table4.run(jobs=2, **kwargs))
+    assert parallel == sequential, "parallel run must be byte-identical"
+
+
+def test_run_batch_preserves_order_and_dedups():
+    spec = PrefetcherSpec(kind="none")
+    job_a = common.sim_job("999.specrand", spec, 0.05)
+    job_b = common.sim_job("462.libquantum", spec, 0.05)
+    results = run_batch([job_a, job_b, job_a])
+    assert results[0].cycles == results[2].cycles
+    assert results[0] is results[2], "duplicate keys run once"
+    assert results[1].cycles != results[0].cycles
+
+
+def test_run_batch_rejects_negative_workers():
+    with pytest.raises(ConfigError):
+        run_batch([], workers=-1)
+
+
+def test_store_roundtrip_and_invalidation(tmp_path):
+    store = ResultStore(tmp_path)
+    job = common.sim_job("999.specrand", PrefetcherSpec(kind="none"), 0.05)
+    (first,) = run_batch([job], store=store)
+    assert len(store) == 1 and store.hits == 0
+
+    # A fresh store instance serves the result from disk without simulating.
+    reread = ResultStore(tmp_path)
+    (cached,) = run_batch([job], store=reread)
+    assert reread.hits == 1 and reread.misses == 0
+    assert dataclasses.asdict(cached) == dataclasses.asdict(first)
+
+    # Any config change is a different key -> disk miss, new entry.
+    changed = replace(
+        job, system=replace(job.system, core=replace(job.system.core, mul_cost=4))
+    )
+    assert changed.key() != job.key()
+    run_batch([changed], store=reread)
+    assert reread.misses == 1
+    assert len(reread) == 2
+
+    # A torn/garbage file degrades to a miss, never a wrong result.
+    path = tmp_path / f"{job.key()}.json"
+    path.write_text("{not json")
+    third = ResultStore(tmp_path)
+    assert third.get(job.key()) is None
+    assert third.misses == 1
+
+    # Valid JSON with the right key/version but a mangled result payload
+    # (hand-edited or written by an older tool) is also just a miss.
+    import json
+
+    from repro.runner import KEY_VERSION
+
+    path.write_text(
+        json.dumps(
+            {"version": KEY_VERSION, "key": job.key(), "result": {"cycles": "x"}}
+        )
+    )
+    assert third.get(job.key()) is None
+    path.write_text(
+        json.dumps(
+            {
+                "version": KEY_VERSION,
+                "key": job.key(),
+                "result": dict(first.to_json(), l1d_stats="oops"),
+            }
+        )
+    )
+    assert third.get(job.key()) is None
+
+
+def test_store_clear(tmp_path):
+    store = ResultStore(tmp_path)
+    job = common.sim_job("999.specrand", PrefetcherSpec(kind="none"), 0.05)
+    run_batch([job], store=store)
+    assert store.clear() == 1
+    assert len(store) == 0
+    assert store.get(job.key()) is None
+
+
+def test_sim_result_json_roundtrip():
+    job = SimJob(workload="999.specrand", scale=0.05, sample_interval=50)
+    result = job.run()
+    assert result.samples, "sampling interval must record samples"
+    again = SimResult.from_json(result.to_json())
+    assert dataclasses.asdict(again) == dataclasses.asdict(result)
+
+
+def test_sim_job_rejects_non_positive_scale():
+    with pytest.raises(ConfigError):
+        SimJob(workload="999.specrand", scale=0.0)
+    with pytest.raises(ConfigError):
+        SimJob(workload="999.specrand", scale=-1.0)
+
+
+def test_attack_job_unknown_kind():
+    with pytest.raises(ConfigError):
+        AttackJob(attack="rowhammer")
+    with pytest.raises(ConfigError):
+        AttackJob.build("rowhammer")
+
+
+def test_attack_job_merges_class_default_options():
+    job = AttackJob.build("prime-probe", SystemConfig(), noise_c3=True)
+    assert job.options.noise_c3 is True
+    # Prime+Probe's class defaults (48 monitored sets, secret 37) land in
+    # the resolved options — and therefore in the job key.
+    assert job.options.num_indices == 48
+    assert job.options.secret == 37
+    outcome = job.run()
+    assert outcome.challenges == "C1+C2+C3"
