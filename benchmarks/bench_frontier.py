@@ -1,0 +1,39 @@
+"""Defense-vs-performance frontier over the PREFENDER knob grid.
+
+Shape targets: the undefended baseline leaks everything (success rate 1)
+at normalized cycles 1; every grid configuration is strictly safer than
+no defense; the Pareto frontier is non-empty and drawn from the grid; and
+at least one frontier point beats the PCG-style comparison on *both*
+axes (the paper's headline: a defense that is also a speedup).
+"""
+
+from conftest import perf_scale
+
+from repro.experiments import frontier
+
+
+def test_frontier(benchmark, emit):
+    result = benchmark.pedantic(
+        frontier.run,
+        kwargs={"scale": min(perf_scale(), 0.2), "jobs": 1},
+        rounds=1,
+        iterations=1,
+    )
+    emit("frontier", frontier.render(result))
+
+    base, pcg = result.baselines
+    assert base.success_rate == 1.0 and base.normalized_cycles == 1.0
+
+    assert result.frontier, "frontier must be non-empty"
+    grid_labels = {point.label for point in result.points}
+    for point in result.frontier:
+        assert point.label in grid_labels
+
+    for point in result.points:
+        assert point.success_rate < base.success_rate
+
+    assert any(
+        point.success_rate <= pcg.success_rate
+        and point.normalized_cycles < pcg.normalized_cycles
+        for point in result.frontier
+    ), "some PREFENDER config must dominate the PCG-style comparison"

@@ -6,6 +6,9 @@ Commands:
 * ``figure8``  — regenerate the security matrix (one attack/challenge)
 * ``table``    — regenerate a performance table (4, 5 or 6)
 * ``sweep``    — improvements for an arbitrary workload × prefetcher grid
+* ``frontier`` — defense-vs-performance Pareto frontier over PREFENDER
+  knob grids (``at_threshold`` × ``entries_per_buffer`` ×
+  ``st_max_prefetches``), with no-defense and PCG-style baselines
 * ``hwcost``   — print the Section V-E resource report
 * ``ablation`` — run the Table II related-work ablation
 
@@ -14,31 +17,44 @@ content hash over the *full* configuration (workload, scale and every
 ``SystemConfig``/``PrefenderConfig``/``CoreConfig``/``HierarchyConfig``
 field), deduplicated, and sharded across processes.
 
-* ``--jobs N`` (``table``, ``sweep``, ``ablation``) runs up to N
-  simulations in parallel; ``--jobs 0`` uses every CPU core.  Output is
-  byte-identical to a sequential run.
-* ``--store`` (``table``, ``sweep``) persists results as JSON under
-  ``benchmarks/results/cache/`` (relative to the invocation directory) and
-  reuses them on later invocations; keys are lossless, so a cached result
-  is only ever served for the exact same configuration.
+* ``--jobs N`` (``table``, ``sweep``, ``frontier``, ``ablation``) runs up
+  to N simulations in parallel; ``--jobs 0`` uses every CPU core.  Output
+  is byte-identical to a sequential run.  ``frontier`` keeps one
+  persistent warm worker pool across its batches, so workers fork once
+  for the whole sweep.
+* ``--store`` (``table``, ``sweep``, ``frontier``) persists results as
+  JSON under ``benchmarks/results/cache/`` (relative to the invocation
+  directory) and reuses them on later invocations; keys are lossless, so
+  a cached result is only ever served for the exact same configuration.
+* ``--store-max-mb M`` caps that cache: least-recently-used entries are
+  evicted once it outgrows M megabytes.
 
 Examples::
 
     python -m repro table 4 --scale 0.5 --jobs 4
     python -m repro sweep --workloads 429.mcf,462.libquantum \\
         --kinds prefender,tagged --buffers 16,32 --jobs 0 --store
+    python -m repro frontier --grid "at_threshold=2,4,6" --jobs 2 \\
+        --store --store-max-mb 64
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 from repro.errors import ConfigError
-from repro.experiments import figure8, related, table4, table5, table6
+from repro.experiments import figure8, frontier, related, table4, table5, table6
 from repro.experiments.common import improvement_rows, security_spec, table_spec
 from repro.hwcost import estimate, render_report
-from repro.runner import ATTACK_KINDS, DEFAULT_CACHE_DIR, AttackJob, ResultStore
+from repro.runner import (
+    ATTACK_KINDS,
+    DEFAULT_CACHE_DIR,
+    AttackJob,
+    ResultStore,
+    WorkerPool,
+)
 from repro.sim.config import PREFETCHER_KINDS, PrefetcherSpec, SystemConfig
 from repro.utils.tables import render_table
 from repro.workloads import SPEC2006_NAMES, SPEC2017_NAMES, workload_names
@@ -74,8 +90,39 @@ def _jobs_arg(text: str) -> int:
     return value
 
 
+def _store_max_mb_arg(text: str) -> float:
+    """Megabyte cap for ``--store-max-mb``: a positive finite number."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid size {text!r}") from None
+    if not (value > 0 and math.isfinite(value * 1024 * 1024)):  # rejects NaN too
+        raise argparse.ArgumentTypeError(f"--store-max-mb must be > 0, got {value}")
+    return value
+
+
 def _store_for(args: argparse.Namespace) -> ResultStore | None:
-    return ResultStore(DEFAULT_CACHE_DIR) if args.store else None
+    """Build the disk store the command asked for (None without ``--store``)."""
+    max_mb = getattr(args, "store_max_mb", None)
+    if max_mb is not None and not args.store:
+        raise ConfigError("--store-max-mb only makes sense with --store")
+    if not args.store:
+        return None
+    max_bytes = int(max_mb * 1024 * 1024) if max_mb is not None else None
+    return ResultStore(DEFAULT_CACHE_DIR, max_bytes=max_bytes)
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--store`` / ``--store-max-mb`` pair (table/sweep/frontier)."""
+    parser.add_argument(
+        "--store", action="store_true",
+        help=f"persist/reuse results under {DEFAULT_CACHE_DIR}",
+    )
+    parser.add_argument(
+        "--store-max-mb", type=_store_max_mb_arg, default=None, metavar="MB",
+        help="cap the store; least-recently-used entries are evicted beyond "
+        "this size (requires --store)",
+    )
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
@@ -149,6 +196,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    grid = frontier.parse_grid(args.grid)
+    store = _store_for(args)
+    # One warm pool for the whole sweep: both of the frontier's batches
+    # (attack probes, then perf runs) reuse the same forked workers.
+    pool = WorkerPool(args.jobs) if args.jobs != 1 else None
+    try:
+        result = frontier.run(
+            grid=grid,
+            attacks=tuple(args.attacks.split(",")),
+            workloads=tuple(args.workloads.split(",")),
+            scale=args.scale,
+            buffers=args.buffers,
+            jobs=args.jobs,
+            store=store,
+            pool=pool,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+    print(frontier.render(result))
+    if store is not None:
+        print(
+            f"store: {store.hits} hit(s), {store.misses} miss(es), "
+            f"{store.evictions} evicted, {len(store)} entries on disk"
+        )
+    return 0
+
+
 def _cmd_hwcost(args: argparse.Namespace) -> int:
     print(render_report(estimate(buffers=args.buffers)))
     return 0
@@ -186,10 +262,7 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=_jobs_arg, default=1,
         help="parallel simulation processes (0 = all cores)",
     )
-    table.add_argument(
-        "--store", action="store_true",
-        help=f"persist/reuse results under {DEFAULT_CACHE_DIR}",
-    )
+    _add_store_flags(table)
     table.set_defaults(handler=_cmd_table)
 
     sweep = commands.add_parser(
@@ -213,10 +286,50 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument(
         "--rp", action="store_true", help="enable the Record Protector"
     )
-    sweep.add_argument("--scale", type=_scale_arg, default=0.5)
-    sweep.add_argument("--jobs", type=_jobs_arg, default=1)
-    sweep.add_argument("--store", action="store_true")
+    sweep.add_argument(
+        "--scale", type=_scale_arg, default=0.5,
+        help="workload scale factor (loop counts scale with it)",
+    )
+    sweep.add_argument(
+        "--jobs", type=_jobs_arg, default=1,
+        help="parallel simulation processes (0 = all cores)",
+    )
+    _add_store_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
+
+    frontier_cmd = commands.add_parser(
+        "frontier",
+        help="defense-vs-performance Pareto frontier over PREFENDER knob grids",
+    )
+    frontier_cmd.add_argument(
+        "--grid", default="",
+        help="semicolon-separated knob=v1,v2 pairs over "
+        f"{frontier.GRID_KNOBS} (unset knobs keep the default grid), e.g. "
+        '"at_threshold=2,4,6;entries_per_buffer=4,8"',
+    )
+    frontier_cmd.add_argument(
+        "--attacks", default=",".join(frontier.DEFAULT_ATTACKS),
+        help="comma-separated attack kinds scored for the success-rate axis",
+    )
+    frontier_cmd.add_argument(
+        "--workloads", default=",".join(frontier.DEFAULT_WORKLOADS),
+        help="comma-separated workloads scored for the normalized-cycles axis",
+    )
+    frontier_cmd.add_argument(
+        "--buffers", type=int, default=frontier.DEFAULT_BUFFERS,
+        help="access-buffer count per grid configuration",
+    )
+    frontier_cmd.add_argument(
+        "--scale", type=_scale_arg, default=0.2,
+        help="workload scale factor (loop counts scale with it)",
+    )
+    frontier_cmd.add_argument(
+        "--jobs", type=_jobs_arg, default=1,
+        help="persistent pool workers shared by the sweep's batches "
+        "(0 = all cores)",
+    )
+    _add_store_flags(frontier_cmd)
+    frontier_cmd.set_defaults(handler=_cmd_frontier)
 
     hwcost = commands.add_parser("hwcost", help="Section V-E report")
     hwcost.add_argument("--buffers", type=int, default=32)

@@ -11,6 +11,7 @@ from repro.experiments import (  # noqa: F401
     figure10,
     figure11,
     figure12,
+    frontier,
     related,
     table4,
     table5,
@@ -35,6 +36,7 @@ __all__ = [
     "figure10",
     "figure11",
     "figure12",
+    "frontier",
     "related",
     "table4",
     "table5",

@@ -12,28 +12,43 @@ Declare the full grid of runs an experiment needs, submit it as one
 Keys are content hashes over *every* configuration dataclass field (see
 :mod:`repro.runner.job`), so two jobs differing in any knob — however
 obscure — never share a result.
+
+Sweeps that submit many batches in a row (the ``frontier`` command) keep
+one :class:`WorkerPool` open and pass it to every ``run_batch`` call, so
+worker processes are forked once and reused instead of being respawned per
+batch:
+
+    with WorkerPool(workers=4) as pool:
+        first = run_batch(jobs_a, pool=pool)
+        second = run_batch(jobs_b, pool=pool)  # same warm workers
 """
 
-from repro.runner.executor import default_workers, run_batch
+from repro.runner.executor import run_batch
 from repro.runner.job import (
     ATTACK_KINDS,
     KEY_VERSION,
     AttackJob,
+    AttackProbe,
+    AttackProbeJob,
     SimJob,
     SimResult,
     fingerprint,
     job_key,
 )
+from repro.runner.pool import WorkerPool, default_workers
 from repro.runner.store import DEFAULT_CACHE_DIR, ResultStore
 
 __all__ = [
     "ATTACK_KINDS",
     "AttackJob",
+    "AttackProbe",
+    "AttackProbeJob",
     "DEFAULT_CACHE_DIR",
     "KEY_VERSION",
     "ResultStore",
     "SimJob",
     "SimResult",
+    "WorkerPool",
     "default_workers",
     "fingerprint",
     "job_key",

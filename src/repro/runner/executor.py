@@ -2,42 +2,54 @@
 
 ``run_batch`` takes the *full* grid of jobs an experiment declares up
 front, deduplicates them by content key, satisfies what it can from the
-optional disk store, and shards the rest across a
-``ProcessPoolExecutor``.  Results always come back in input order, so a
-parallel table regeneration is byte-identical to a sequential one.
+optional disk store, and shards the rest across worker processes.
+Results always come back in input order, so a parallel table regeneration
+is byte-identical to a sequential one.
+
+Two execution backends share that contract:
+
+* default — a throwaway ``ProcessPoolExecutor`` per call, right for a
+  single large batch (``python -m repro table 4 --jobs 4``);
+* ``pool=`` — a caller-owned :class:`~repro.runner.pool.WorkerPool` whose
+  warm workers are reused across *successive* ``run_batch`` calls, right
+  for sweeps that submit many batches (``python -m repro frontier``).
 """
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.errors import ConfigError
+from repro.runner.pool import WorkerPool, default_workers
 from repro.runner.store import ResultStore
 
-
-def default_workers() -> int:
-    """Worker count when the caller asks for ``--jobs 0`` (= all cores)."""
-    return max(1, os.cpu_count() or 1)
+__all__ = ["default_workers", "run_batch"]
 
 
-def _execute(job):
-    """Module-level trampoline so jobs pickle cleanly into pool workers."""
-    return job.run()
-
-
-def run_batch(jobs, workers: int = 1, store: ResultStore | None = None) -> list:
+def run_batch(
+    jobs,
+    workers: int = 1,
+    store: ResultStore | None = None,
+    pool: WorkerPool | None = None,
+) -> list:
     """Run a batch of jobs; results are returned in input order.
 
     Args:
         jobs: sequence of :class:`~repro.runner.job.SimJob` /
-            :class:`~repro.runner.job.AttackJob` (anything with ``key()``,
-            ``run()`` and a ``cacheable`` flag).  Duplicate keys are run
-            once and the result shared.
+            :class:`~repro.runner.job.AttackJob` /
+            :class:`~repro.runner.job.AttackProbeJob` (anything with
+            ``key()``, ``run()`` and a ``cacheable`` flag).  Duplicate keys
+            are run once and the result shared.
         workers: process count; ``1`` runs inline (no pool), ``0`` means
-            one worker per CPU core.
+            one worker per CPU core.  Ignored when ``pool`` is given.
         store: optional on-disk store consulted before running and updated
             after, for ``cacheable`` jobs only.
+        pool: optional persistent :class:`~repro.runner.pool.WorkerPool`;
+            its warm workers execute the batch (and stay alive for the
+            caller's next batch) instead of a freshly forked executor.
+
+    Returns:
+        One result per input job, in input order.
     """
     if workers < 0:
         raise ConfigError(f"workers must be >= 0, got {workers}")
@@ -60,12 +72,17 @@ def run_batch(jobs, workers: int = 1, store: ResultStore | None = None) -> list:
         pending_keys.add(key)
         pending.append((key, job))
 
-    if workers == 1 or len(pending) <= 1:
+    if pool is not None:
+        for (key, _), result in zip(
+            pending, pool.run([job for _, job in pending])
+        ):
+            results[key] = result
+    elif workers == 1 or len(pending) <= 1:
         for key, job in pending:
-            results[key] = _execute(job)
+            results[key] = job.run()
     else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-            futures = [(key, pool.submit(_execute, job)) for key, job in pending]
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as ppe:
+            futures = [(key, ppe.submit(_execute, job)) for key, job in pending]
             for key, future in futures:
                 results[key] = future.result()
 
@@ -75,3 +92,8 @@ def run_batch(jobs, workers: int = 1, store: ResultStore | None = None) -> list:
                 store.put(key, job, results[key])
 
     return [results[key] for key in keys]
+
+
+def _execute(job):
+    """Module-level trampoline so jobs pickle cleanly into pool workers."""
+    return job.run()

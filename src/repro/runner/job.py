@@ -10,7 +10,7 @@ spec, PREFENDER knobs, core timing, hierarchy geometry), so a newly added
 config field participates in the key automatically and can never fall out
 of it again (``tests/test_runner.py`` asserts this field-by-field).
 
-Two job kinds cover everything the experiments run:
+Three job kinds cover everything the experiments run:
 
 * :class:`SimJob` — one workload program on one system config
   (:func:`repro.sim.simulator.run_program`); returns a JSON-serialisable
@@ -18,6 +18,10 @@ Two job kinds cover everything the experiments run:
 * :class:`AttackJob` — one attack (by registry name) against one system
   config; returns the full :class:`repro.attacks.AttackOutcome` (picklable
   but not JSON-able, so attack jobs never hit the disk store).
+* :class:`AttackProbeJob` — the same attack run reduced to its verdict
+  (:class:`AttackProbe`: succeeded?, candidate set, cycles).  Probes *are*
+  JSON-able, so frontier sweeps can serve repeat security grids warm from
+  the disk store.
 """
 
 from __future__ import annotations
@@ -140,7 +144,17 @@ class SimResult:
 
 @dataclass(frozen=True)
 class SimJob:
-    """One workload program on one fully specified system configuration."""
+    """One workload program on one fully specified system configuration.
+
+    Attributes:
+        workload: registry name from :mod:`repro.workloads`.
+        scale: loop-count multiplier (> 0); 1.0 is the paper's size.
+        system: the full :class:`~repro.sim.config.SystemConfig` — every
+            field participates in :meth:`key`.
+        sample_interval: record ``(step, cycles)`` samples every N steps
+            (``None`` disables sampling; figures 10/12 use it).
+        max_steps: simulation step budget (guards runaway programs).
+    """
 
     workload: str
     scale: float = 1.0
@@ -171,7 +185,19 @@ class SimJob:
 
 @dataclass(frozen=True)
 class AttackJob:
-    """One attack (by registry name) against one system configuration."""
+    """One attack (by registry name) against one system configuration.
+
+    Attributes:
+        attack: key into :data:`ATTACK_KINDS` (e.g. ``"flush-reload"``).
+        system: the defense under attack; ``num_cores`` and speculation
+            settings are adjusted by the attack itself at run time.
+        options: resolved :class:`~repro.attacks.layout.AttackOptions`;
+            ``None`` defers to the attack class's defaults — prefer
+            :meth:`build`, which resolves the merge *into the key*.
+        max_steps: simulation step budget.
+
+    For disk-cacheable attack verdicts, see :class:`AttackProbeJob`.
+    """
 
     attack: str
     system: SystemConfig = field(default_factory=SystemConfig)
@@ -212,3 +238,93 @@ class AttackJob:
         attack_cls = ATTACK_KINDS[self.attack]
         attack = attack_cls() if self.options is None else attack_cls(self.options)
         return attack.run(self.system, max_steps=self.max_steps)
+
+
+@dataclass
+class AttackProbe:
+    """JSON-serialisable verdict of one attack run.
+
+    Everything the frontier needs from an attack — did it uniquely recover
+    the secret, which indices stayed candidates, and how many cycles the
+    run took — without the full (non-JSON-able) ``RunResult`` an
+    :class:`~repro.attacks.AttackOutcome` carries.  Probes therefore
+    qualify for the on-disk :class:`~repro.runner.store.ResultStore`.
+    """
+
+    attack: str
+    challenges: str
+    secret: int
+    succeeded: bool
+    candidates: list[int]
+    cycles: int
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "AttackProbe":
+        return cls(
+            attack=str(data["attack"]),
+            challenges=str(data["challenges"]),
+            secret=int(data["secret"]),
+            succeeded=bool(data["succeeded"]),
+            candidates=[int(index) for index in data["candidates"]],
+            cycles=int(data["cycles"]),
+        )
+
+
+@dataclass(frozen=True)
+class AttackProbeJob:
+    """One attack run reduced to its storable :class:`AttackProbe` verdict.
+
+    Same inputs as :class:`AttackJob` (and a distinct content key — the
+    fingerprint includes the class name), but the result drops the raw
+    ``RunResult``, so frontier-scale security grids can be cached on disk
+    and served warm on the next invocation.
+    """
+
+    attack: str
+    system: SystemConfig = field(default_factory=SystemConfig)
+    options: AttackOptions | None = None
+    max_steps: int = 20_000_000
+
+    #: AttackProbes are JSON round-trippable, so the disk store may keep them.
+    cacheable = True
+
+    def __post_init__(self) -> None:
+        if self.attack not in ATTACK_KINDS:
+            raise ConfigError(
+                f"unknown attack {self.attack!r}; "
+                f"choose from {sorted(ATTACK_KINDS)}"
+            )
+
+    @classmethod
+    def build(
+        cls, attack: str, system: SystemConfig | None = None, **option_overrides
+    ) -> "AttackProbeJob":
+        """Probe job with the attack class's default options merged in.
+
+        Mirrors :meth:`AttackJob.build` so the job key reflects the
+        *effective* options, not just the overrides.
+        """
+        inner = AttackJob.build(attack, system, **option_overrides)
+        return cls(attack=inner.attack, system=inner.system, options=inner.options)
+
+    def key(self) -> str:
+        return job_key(self)
+
+    def run(self) -> AttackProbe:
+        outcome = AttackJob(
+            attack=self.attack,
+            system=self.system,
+            options=self.options,
+            max_steps=self.max_steps,
+        ).run()
+        return AttackProbe(
+            attack=self.attack,
+            challenges=outcome.challenges,
+            secret=outcome.secret,
+            succeeded=outcome.attack_succeeded,
+            candidates=list(outcome.candidates),
+            cycles=outcome.run_result.cycles,
+        )

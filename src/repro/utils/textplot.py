@@ -71,6 +71,60 @@ def ascii_series(
     return "\n".join(lines)
 
 
+def ascii_scatter(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    height: int = 12,
+    width: int = 60,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) point sets on one shared-axis ASCII scatter.
+
+    Unlike :func:`ascii_series`, points need no shared or monotonic x axis
+    — bounds are computed over every point of every series — which is what
+    a Pareto frontier plot needs (grid points land wherever their
+    (cycles, success-rate) pair puts them).  Each series is drawn with the
+    first letter of its name; collisions are drawn as ``*``.
+    """
+    points = [pt for pts in series.values() for pt in pts]
+    if not points:
+        return title or "(no points)"
+    x_min = min(x for x, _ in points)
+    x_max = max(x for x, _ in points)
+    y_min = min(y for _, y in points)
+    y_max = max(y for _, y in points)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, pts in series.items():
+        marker = name[0] if name else "*"
+        for x, y in pts:
+            col = int((float(x) - x_min) / (x_max - x_min) * (width - 1))
+            row = height - 1 - int((float(y) - y_min) / (y_max - y_min) * (height - 1))
+            current = grid[row][col]
+            grid[row][col] = marker if current in (" ", marker) else "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:>10.3f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_min:>10.3f} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{x_min:<.3f}".ljust(width // 2) + f"{x_max:>.3f}"
+    )
+    legend = "  ".join(f"{name[0] if name else '*'}={name}" for name in series)
+    axes = "  ".join(label for label in (f"x:{x_label}" if x_label else "",
+                                         f"y:{y_label}" if y_label else "") if label)
+    lines.append(" " * 12 + legend + (f"  [{axes}]" if axes else ""))
+    return "\n".join(lines)
+
+
 def histogram_line(counts: Mapping[str, int], width: int = 50) -> str:
     """One-line-per-key log-ish bar chart for count comparisons (Fig. 11)."""
     if not counts:

@@ -1,0 +1,31 @@
+"""Docs stay navigable: the CI link check, run as part of tier-1."""
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+DOC_FILES = ["README.md", "docs/architecture.md", "ROADMAP.md", "CHANGES.md"]
+
+
+def test_markdown_links_resolve():
+    """Same invocation as CI's docs job; broken links fail locally first."""
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_links.py"), *DOC_FILES],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_readme_documents_every_cli_command():
+    """The README's CLI reference must cover every registered subcommand."""
+    readme = (REPO / "README.md").read_text()
+    from repro import __main__ as cli
+
+    for line in cli.__doc__.splitlines():
+        if line.startswith("* ``"):  # the command list at the top of --help
+            command = line.split("``")[1]
+            assert f"`{command}`" in readme, f"README missing CLI docs for {command}"

@@ -1,0 +1,157 @@
+"""The frontier subsystem: grid parsing, Pareto extraction, end-to-end run."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import ConfigError
+from repro.experiments import frontier
+from repro.experiments.frontier import FrontierPoint, pareto_frontier, parse_grid
+
+
+def _point(label, success, cycles):
+    return FrontierPoint(
+        label=label,
+        at_threshold=4,
+        entries_per_buffer=8,
+        st_max_prefetches=2,
+        success_rate=success,
+        normalized_cycles=cycles,
+    )
+
+
+def test_pareto_extraction_on_synthetic_grid():
+    """Dominated points drop; incomparable points survive; order is fixed."""
+    safe_slow = _point("safe-slow", 0.0, 1.2)
+    fast_leaky = _point("fast-leaky", 0.6, 0.8)
+    balanced = _point("balanced", 0.3, 0.9)
+    dominated = _point("dominated", 0.7, 1.3)  # worse than all three
+    shadowed = _point("shadowed", 0.3, 1.0)  # balanced beats it on cycles
+    points = [dominated, safe_slow, shadowed, fast_leaky, balanced]
+    result = pareto_frontier(points)
+    assert [p.label for p in result] == ["fast-leaky", "balanced", "safe-slow"]
+
+
+def test_pareto_keeps_ties_and_single_point():
+    twin_a = _point("twin-a", 0.2, 1.0)
+    twin_b = _point("twin-b", 0.2, 1.0)
+    assert pareto_frontier([twin_a, twin_b]) == [twin_a, twin_b]
+    only = _point("only", 0.5, 1.1)
+    assert pareto_frontier([only]) == [only]
+    assert pareto_frontier([]) == []
+
+
+def test_parse_grid_defaults_and_overrides():
+    assert parse_grid("") == frontier.DEFAULT_GRID
+    grid = parse_grid("at_threshold=2,6;st_max_prefetches=3")
+    assert grid["at_threshold"] == (2, 6)
+    assert grid["st_max_prefetches"] == (3,)
+    assert grid["entries_per_buffer"] == frontier.DEFAULT_GRID["entries_per_buffer"]
+    # Space-separated pairs are accepted too (shell-quoted specs).
+    assert parse_grid("at_threshold=2 entries_per_buffer=4")["at_threshold"] == (2,)
+
+
+def test_parse_grid_rejects_bad_specs():
+    with pytest.raises(ConfigError, match="unknown grid knob"):
+        parse_grid("block_size=64")
+    with pytest.raises(ConfigError, match="comma-separated integers"):
+        parse_grid("at_threshold=two")
+
+
+def test_grid_configs_cover_the_product_in_order():
+    grid = {
+        "at_threshold": (2, 4),
+        "entries_per_buffer": (4,),
+        "st_max_prefetches": (1, 2),
+    }
+    configs = frontier.grid_configs(grid, buffers=8)
+    assert [label for label, _ in configs] == [
+        "t2/e4/s1", "t2/e4/s2", "t4/e4/s1", "t4/e4/s2",
+    ]
+    for _, config in configs:
+        assert config.num_access_buffers == 8
+        assert config.rp_enabled  # grids perturb knobs on the FULL variant
+
+
+def test_frontier_run_small_grid():
+    """One-point grid end-to-end: axes populated, baselines framed."""
+    result = frontier.run(
+        grid={
+            "at_threshold": (4,),
+            "entries_per_buffer": (8,),
+            "st_max_prefetches": (2,),
+        },
+        attacks=("flush-reload",),
+        workloads=("999.specrand",),
+        scale=0.05,
+    )
+    assert len(result.points) == 1
+    (point,) = result.points
+    assert point.label == "t4/e8/s2"
+    assert 0.0 <= point.success_rate <= 1.0
+    assert point.normalized_cycles > 0
+    assert result.frontier == [point]
+    base, pcg = result.baselines
+    assert base.label == "no-defense" and base.normalized_cycles == 1.0
+    assert base.success_rate == 1.0, "undefended flush-reload must succeed"
+    assert pcg.label == "pcg-style"
+    rendered = frontier.render(result)
+    assert "Pareto frontier: t4/e8/s2" in rendered
+    assert "no-defense" in rendered and "pcg-style" in rendered
+
+
+def test_frontier_run_validates_inputs():
+    with pytest.raises(ConfigError):
+        frontier.run(attacks=())
+    with pytest.raises(ConfigError):
+        frontier.run(grid={"at_threshold": (4,)})  # missing knobs
+
+
+def test_cli_frontier_jobs_parity(capsys):
+    """Acceptance shape: --jobs 1 and --jobs 2 print identical frontiers."""
+    argv = [
+        "frontier", "--grid",
+        "at_threshold=2,6;entries_per_buffer=4;st_max_prefetches=1",
+        "--attacks", "flush-reload",
+        "--workloads", "999.specrand,462.libquantum",
+        "--scale", "0.05",
+    ]
+    assert main(argv) == 0
+    sequential = capsys.readouterr().out
+    assert main(argv + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == sequential
+    assert "Pareto frontier:" in sequential
+
+
+def test_cli_frontier_store_warms_second_run(tmp_path, monkeypatch, capsys):
+    """Second --store invocation is served entirely from the disk store."""
+    monkeypatch.chdir(tmp_path)
+    argv = [
+        "frontier", "--grid",
+        "at_threshold=4;entries_per_buffer=8;st_max_prefetches=2",
+        "--attacks", "flush-reload",
+        "--workloads", "999.specrand",
+        "--scale", "0.05",
+        "--store",
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "0 hit(s)" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "0 miss(es)" in warm
+    # Same frontier either way.
+    assert cold.split("store:")[0] == warm.split("store:")[0]
+
+
+def test_cli_store_max_mb_requires_store(capsys):
+    with pytest.raises(SystemExit):
+        main(["frontier", "--store-max-mb", "1"])
+    assert "--store-max-mb only makes sense with --store" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("bad", ["0", "-1", "nan", "inf", "1e308", "big"])
+def test_cli_store_max_mb_rejects_non_positive_and_non_finite(bad, capsys):
+    with pytest.raises(SystemExit):
+        main(["frontier", "--store", "--store-max-mb", bad])
+    assert "--store-max-mb" in capsys.readouterr().err

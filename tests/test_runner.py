@@ -20,6 +20,7 @@ from repro.experiments import common, table4
 from repro.mem.hierarchy import HierarchyConfig
 from repro.runner import (
     AttackJob,
+    AttackProbeJob,
     ResultStore,
     SimJob,
     SimResult,
@@ -234,6 +235,111 @@ def test_store_roundtrip_and_invalidation(tmp_path):
         )
     )
     assert third.get(job.key()) is None
+
+
+def _filler_results(tmp_path):
+    """One real SimResult + its on-disk entry size, for synthetic store tests."""
+    probe = ResultStore(tmp_path / "probe")
+    job = common.sim_job("999.specrand", PrefetcherSpec(kind="none"), 0.05)
+    (result,) = run_batch([job], store=probe)
+    return result, probe.size_bytes()
+
+
+def test_store_eviction_is_lru_ordered(tmp_path):
+    """Oldest-mtime entries are evicted first; a get() refreshes recency."""
+    import os
+
+    result, _ = _filler_results(tmp_path)
+    # Measure a *synthetic* entry (tiny job fingerprint), then cap at 2.5x.
+    sizer = ResultStore(tmp_path / "sizer")
+    sizer.put("sample", {"synthetic": "sample"}, result)
+    entry_size = sizer.size_bytes()
+    store = ResultStore(tmp_path / "capped", max_bytes=int(entry_size * 2.5))
+
+    def put(key: str, stamp: int) -> None:
+        store.put(key, {"synthetic": key}, result)
+        os.utime(store._path(key), (stamp, stamp))
+
+    put("key-a", 100)
+    put("key-b", 200)
+    assert store.evictions == 0 and len(store) == 2
+
+    # Third entry overflows the 2.5-entry cap: key-a (oldest) is evicted.
+    put("key-c", 300)
+    assert store.evictions == 1
+    assert store.get("key-a") is None
+    assert store.get("key-b") is not None  # hit refreshes key-b's mtime...
+    os.utime(store._path("key-b"), (400, 400))  # (made explicit for the test)
+
+    # ...so the next overflow evicts key-c, not the recently-read key-b.
+    put("key-d", 500)
+    assert store.evictions == 2
+    assert store.get("key-c") is None
+    assert store.get("key-b") is not None
+    assert store.get("key-d") is not None
+
+
+def test_store_never_evicts_the_just_written_entry(tmp_path):
+    result, _ = _filler_results(tmp_path)
+    sizer = ResultStore(tmp_path / "sizer")
+    sizer.put("sample", {"synthetic": "sample"}, result)
+    store = ResultStore(
+        tmp_path / "tiny", max_bytes=max(1, sizer.size_bytes() // 2)
+    )
+    store.put("only", {"synthetic": "only"}, result)
+    assert len(store) == 1, "an oversized single entry still caches"
+    assert store.evictions == 0
+    store.put("next", {"synthetic": "next"}, result)
+    assert len(store) == 1 and store.evictions == 1
+    assert store.get("next") is not None
+
+
+def test_store_uncapped_by_default_and_rejects_bad_cap(tmp_path):
+    result, _ = _filler_results(tmp_path)
+    store = ResultStore(tmp_path / "free")
+    for index in range(5):
+        store.put(f"key-{index}", {"synthetic": index}, result)
+    assert len(store) == 5 and store.evictions == 0
+    with pytest.raises(ConfigError):
+        ResultStore(tmp_path, max_bytes=0)
+
+
+def test_store_roundtrips_attack_probes(tmp_path):
+    """AttackProbeJob results persist and reload as AttackProbe objects."""
+    store = ResultStore(tmp_path)
+    job = AttackProbeJob.build("flush-reload")
+    (probe,) = run_batch([job], store=store)
+    assert probe.succeeded, "undefended flush-reload must succeed"
+    reread = ResultStore(tmp_path)
+    (cached,) = run_batch([job], store=reread)
+    assert reread.hits == 1
+    assert dataclasses.asdict(cached) == dataclasses.asdict(probe)
+    # Probe and attack jobs with identical inputs still get distinct keys
+    # (the fingerprint includes the class name).
+    assert job.key() != AttackJob.build("flush-reload").key()
+
+
+def test_store_result_kind_dispatch(tmp_path):
+    """Entries missing result_kind stay readable (pre-eviction files were
+    all SimResults); unknown kinds degrade to a miss."""
+    import json
+
+    store = ResultStore(tmp_path)
+    job = common.sim_job("999.specrand", PrefetcherSpec(kind="none"), 0.05)
+    (result,) = run_batch([job], store=store)
+    path = tmp_path / f"{job.key()}.json"
+    data = json.loads(path.read_text())
+    assert data["result_kind"] == "SimResult"
+
+    del data["result_kind"]
+    path.write_text(json.dumps(data))
+    legacy = ResultStore(tmp_path)
+    assert legacy.get(job.key()) is not None
+
+    data["result_kind"] = "Bogus"
+    path.write_text(json.dumps(data))
+    bogus = ResultStore(tmp_path)
+    assert bogus.get(job.key()) is None and bogus.misses == 1
 
 
 def test_store_clear(tmp_path):

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (no network, no deps).
+
+Checks every ``[text](target)`` link in the given markdown files:
+
+* relative file targets must exist on disk (resolved against the file's
+  directory), and any ``#anchor`` must match a heading in the target;
+* in-page ``#anchor`` targets must match a heading in the same file;
+* ``http(s)://`` and ``mailto:`` targets are skipped (CI has no business
+  depending on external uptime).
+
+Usage: ``python tools/check_links.py README.md docs/architecture.md ...``
+Exits non-zero listing every broken link.  CI's docs job runs this over
+README/docs/ROADMAP; ``tests/test_docs.py`` runs it in tier-1 so a broken
+link fails locally before it fails CI.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def heading_anchors(text: str) -> set[str]:
+    """GitHub-style anchor slugs for every heading in ``text``."""
+    anchors = set()
+    for heading in HEADING.findall(text):
+        slug = re.sub(r"[`*_]", "", heading.strip().lower())
+        slug = re.sub(r"[^\w\- ]", "", slug).replace(" ", "-")
+        anchors.add(slug)
+    return anchors
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """Broken-link descriptions for one markdown file (empty = clean)."""
+    errors = []
+    text = path.read_text()
+    for target in LINK.findall(text):
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if not file_part:  # in-page anchor
+            if anchor not in heading_anchors(text):
+                errors.append(f"{path}: missing anchor #{anchor}")
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link {target} ({resolved})")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in heading_anchors(resolved.read_text()):
+                errors.append(f"{path}: missing anchor {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv:
+        path = pathlib.Path(name)
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"ok: {len(argv)} file(s), no broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
