@@ -2,7 +2,8 @@
 
 Commands:
 
-* ``attack``   — run one attack against one defense and print the verdict
+* ``attack``   — run an attack × defense grid and print one verdict line
+  per cell; ``--name adversarial-prefetch`` expands to the A1/A2 variants
 * ``figure8``  — regenerate the security matrix (one attack/challenge)
 * ``table``    — regenerate a performance table (4, 5 or 6)
 * ``sweep``    — improvements for an arbitrary workload × prefetcher grid
@@ -17,12 +18,12 @@ content hash over the *full* configuration (workload, scale and every
 ``SystemConfig``/``PrefenderConfig``/``CoreConfig``/``HierarchyConfig``
 field), deduplicated, and sharded across processes.
 
-* ``--jobs N`` (``table``, ``sweep``, ``frontier``, ``ablation``) runs up
-  to N simulations in parallel; ``--jobs 0`` uses every CPU core.  Output
-  is byte-identical to a sequential run.  ``frontier`` keeps one
-  persistent warm worker pool across its batches, so workers fork once
-  for the whole sweep.
-* ``--store`` (``table``, ``sweep``, ``frontier``) persists results as
+* ``--jobs N`` (``attack``, ``table``, ``sweep``, ``frontier``,
+  ``ablation``) runs up to N simulations in parallel; ``--jobs 0`` uses
+  every CPU core.  Output is byte-identical to a sequential run.
+  ``frontier`` keeps one persistent warm worker pool across its batches,
+  so workers fork once for the whole sweep.
+* ``--store`` (``attack``, ``table``, ``sweep``, ``frontier``) persists results as
   JSON under ``benchmarks/results/cache/`` (relative to the invocation
   directory) and reuses them on later invocations; keys are lossless, so
   a cached result is only ever served for the exact same configuration.
@@ -44,16 +45,21 @@ import argparse
 import math
 import sys
 
+from repro.attacks.base import verdict_line
 from repro.errors import ConfigError
 from repro.experiments import figure8, frontier, related, table4, table5, table6
 from repro.experiments.common import improvement_rows, security_spec, table_spec
 from repro.hwcost import estimate, render_report
 from repro.runner import (
+    ADVERSARIAL_PREFETCH_FAMILY,
+    ADVERSARIAL_PREFETCH_VARIANTS,
     ATTACK_KINDS,
     DEFAULT_CACHE_DIR,
-    AttackJob,
+    AttackProbe,
+    AttackProbeJob,
     ResultStore,
     WorkerPool,
+    run_batch,
 )
 from repro.sim.config import PREFETCHER_KINDS, PrefetcherSpec, SystemConfig
 from repro.utils.tables import render_table
@@ -125,16 +131,70 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _cmd_attack(args: argparse.Namespace) -> int:
-    job = AttackJob.build(
-        args.attack,
-        SystemConfig(prefetcher=security_spec(args.defense)),
-        noise_c3=args.c3,
-        noise_c4=args.c4,
-        victim_mode="spectre" if args.spectre else "direct",
-        cross_core=args.cross_core,
+def _attack_kinds_for(args: argparse.Namespace) -> list[str]:
+    """Resolve the positional kind / ``--name`` / ``--variant`` trio."""
+    if args.attack and args.name:
+        raise ConfigError("give either a positional attack kind or --name, not both")
+    name = args.attack or args.name
+    if name is None:
+        raise ConfigError("attack needs a kind (positional or --name)")
+    if name == ADVERSARIAL_PREFETCH_FAMILY:
+        variants = (
+            tuple(sorted(ADVERSARIAL_PREFETCH_VARIANTS))
+            if args.variant == "both"
+            else (args.variant,)
+        )
+        return [ADVERSARIAL_PREFETCH_VARIANTS[variant] for variant in variants]
+    if args.variant != "both":
+        raise ConfigError(
+            f"--variant only applies to --name {ADVERSARIAL_PREFETCH_FAMILY}"
+        )
+    return [name]
+
+
+def _probe_summary(probe: AttackProbe, defense_label: str) -> str:
+    """One verdict line per grid cell, in AttackOutcome.summary's format."""
+    return verdict_line(
+        ATTACK_KINDS[probe.attack].name,
+        probe.challenges,
+        defense_label,
+        probe.succeeded,
+        probe.candidates,
+        probe.secret,
     )
-    print(job.run().summary())
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    kinds = _attack_kinds_for(args)
+    defenses = [d.strip() for d in args.defense.split(",") if d.strip()]
+    for defense in defenses:
+        if defense not in DEFENSES:
+            raise ConfigError(
+                f"unknown defense {defense!r}; choose from {DEFENSES}"
+            )
+    if not defenses:
+        raise ConfigError("--defense needs at least one defense")
+    # Option flags only override when set, so attack-class defaults (e.g.
+    # adversarial-prefetch's cross_core=True) survive untouched.
+    overrides: dict[str, object] = {}
+    if args.c3:
+        overrides["noise_c3"] = True
+    if args.c4:
+        overrides["noise_c4"] = True
+    if args.spectre:
+        overrides["victim_mode"] = "spectre"
+    if args.cross_core:
+        overrides["cross_core"] = True
+    cells = [(kind, defense) for kind in kinds for defense in defenses]
+    jobs = [
+        AttackProbeJob.build(
+            kind, SystemConfig(prefetcher=security_spec(defense)), **overrides
+        )
+        for kind, defense in cells
+    ]
+    probes = run_batch(jobs, workers=args.jobs, store=_store_for(args))
+    for (_, defense), probe in zip(cells, probes):
+        print(_probe_summary(probe, security_spec(defense).label))
     return 0
 
 
@@ -243,13 +303,36 @@ def main(argv: list[str] | None = None) -> int:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    attack = commands.add_parser("attack", help="run one attack")
-    attack.add_argument("attack", choices=sorted(ATTACK_KINDS))
-    attack.add_argument("--defense", choices=DEFENSES, default="Base")
+    attack = commands.add_parser(
+        "attack", help="run an attack (or attack family) against defenses"
+    )
+    attack.add_argument(
+        "attack", nargs="?", choices=sorted(ATTACK_KINDS),
+        help="single attack kind (alternative to --name)",
+    )
+    attack.add_argument(
+        "--name",
+        choices=sorted(ATTACK_KINDS) + [ADVERSARIAL_PREFETCH_FAMILY],
+        help="attack kind or family; "
+        f"{ADVERSARIAL_PREFETCH_FAMILY!r} expands to every variant",
+    )
+    attack.add_argument(
+        "--variant", choices=("a1", "a2", "both"), default="both",
+        help=f"variant filter for --name {ADVERSARIAL_PREFETCH_FAMILY}",
+    )
+    attack.add_argument(
+        "--defense", default="Base",
+        help=f"comma-separated defenses from {DEFENSES}",
+    )
     attack.add_argument("--c3", action="store_true", help="noisy instructions")
     attack.add_argument("--c4", action="store_true", help="noisy accesses")
     attack.add_argument("--spectre", action="store_true")
     attack.add_argument("--cross-core", action="store_true")
+    attack.add_argument(
+        "--jobs", type=_jobs_arg, default=1,
+        help="parallel simulation processes (0 = all cores)",
+    )
+    _add_store_flags(attack)
     attack.set_defaults(handler=_cmd_attack)
 
     fig8 = commands.add_parser("figure8", help="security matrix")

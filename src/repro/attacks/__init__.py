@@ -23,8 +23,14 @@ from repro.attacks.flush_reload import FlushReloadAttack
 from repro.attacks.evict_reload import EvictReloadAttack
 from repro.attacks.prime_probe import PrimeProbeAttack
 from repro.attacks.evict_time import EvictTimeAttack
+from repro.attacks.adversarial_prefetch import (
+    AdversarialPrefetchA1,
+    AdversarialPrefetchA2,
+)
 
 __all__ = [
+    "AdversarialPrefetchA1",
+    "AdversarialPrefetchA2",
     "AttackLayout",
     "AttackOptions",
     "AttackOutcome",

@@ -1,0 +1,103 @@
+"""Adversarial Prefetch (Guo et al., USENIX Security 2022 — PAPERS.md).
+
+A cross-core attack family built entirely on the software-prefetch ISA:
+``prefetchw`` takes *exclusive ownership* of a line (invalidating every
+other core's copy), and any later access by another core steals the line
+back out of the owner's L1.  Both variants exploit that steal:
+
+1. ``prefetchw`` every probe line — the attacker now owns all of them
+   exclusively in its own L1.
+2. The victim performs its one secret-dependent access on the other core;
+   that access (an L2 hit) migrates exactly the secret's line out of the
+   attacker's L1.
+3. The attacker measures each line; the one that left L1 (an L2 refill,
+   ~17 cycles, vs the ~5-cycle L1 hit) reveals the secret.
+
+The variants differ only in the probe primitive of phase 3:
+
+* **A1** (``PREFETCH+RELOAD``-shaped) probes with demand *loads* — an
+  Evict+Reload-shaped measurement where ``prefetchw`` replaced the
+  eviction loop, so no ``clflush`` and no shared-memory flush rights are
+  needed.
+* **A2** (``PREFETCH+PREFETCH``-shaped) probes with timed software
+  *prefetches*.  A prefetch's latency distinguishes L1/L2/MEM residency
+  exactly like a load's, but it is not demand traffic: no access-history
+  tracker (PREFENDER's AT, PCG-style random prefetchers, ...) ever
+  observes the probe.  Only defenses that act on the *victim's* side —
+  PREFENDER's Scale Tracker decoys, which migrate the secret's neighbours
+  out of the attacker's L1 too — can make the measurement ambiguous.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import CacheAttack
+from repro.attacks.snippets import (
+    emit_prefetchw_loop,
+    emit_probe_loop,
+    emit_signal,
+    emit_spin_wait,
+    emit_victim_direct,
+)
+from repro.errors import ConfigError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+
+class AdversarialPrefetchAttack(CacheAttack):
+    """Shared plumbing for both variants: own, wait, probe."""
+
+    # L1 hit measures ~5, the stolen line's L2 refill ~17 (Evict+Reload's
+    # latency classes: the threshold sits between them).
+    hit_threshold = 10
+    candidate_is_slow = True
+    variant = "a1"
+
+    def build_programs(self) -> list[Program]:
+        layout, options = self.layout, self.options
+        if not options.cross_core:
+            raise ConfigError(
+                "adversarial-prefetch is a cross-core attack; "
+                "cross_core=False has no victim to steal lines from"
+            )
+        if options.victim_mode != "direct":
+            raise ConfigError(
+                "adversarial-prefetch uses the direct victim; the spectre "
+                "victim is a single-core Flush+Reload variant"
+            )
+        attacker = ProgramBuilder(f"adversarial_prefetch_{self.variant}")
+        attacker.fill(
+            layout.results_base,
+            count=options.num_indices,
+            value=0,
+            stride=layout.results_stride,
+        )
+        attacker.data(layout.secret_addr, [options.secret])
+        attacker.data(layout.flag_base, [0, 0], stride=64)
+        emit_prefetchw_loop(attacker, layout, options)
+        emit_signal(attacker, layout.flag_attacker_ready)
+        emit_spin_wait(attacker, layout.flag_victim_done)
+        emit_probe_loop(attacker, layout, options)
+        attacker.halt()
+
+        victim = ProgramBuilder(f"adversarial_prefetch_{self.variant}_victim")
+        emit_spin_wait(victim, layout.flag_attacker_ready)
+        emit_victim_direct(victim, layout, options)
+        emit_signal(victim, layout.flag_victim_done)
+        victim.halt()
+        return [attacker.build(), victim.build()]
+
+
+class AdversarialPrefetchA1(AdversarialPrefetchAttack):
+    """A1: prefetchw ownership + demand-load reload probe."""
+
+    name = "AdvPrefetch-A1"
+    variant = "a1"
+    DEFAULT_OPTIONS = {"cross_core": True, "probe_kind": "load"}
+
+
+class AdversarialPrefetchA2(AdversarialPrefetchAttack):
+    """A2: prefetchw ownership + timed software-prefetch probe."""
+
+    name = "AdvPrefetch-A2"
+    variant = "a2"
+    DEFAULT_OPTIONS = {"cross_core": True, "probe_kind": "prefetch"}

@@ -19,6 +19,23 @@ from repro.sim.config import SystemConfig
 from repro.sim.simulator import build_system
 
 
+def verdict_line(
+    attack_name: str,
+    challenges: str,
+    defense_label: str,
+    succeeded: bool,
+    candidates: list[int],
+    secret: int,
+) -> str:
+    """The one verdict-line format shared by outcomes and CLI probe grids."""
+    shown = candidates if len(candidates) <= 8 else candidates[:8] + ["..."]
+    verdict = "ATTACK SUCCEEDED" if succeeded else "DEFENDED"
+    return (
+        f"{attack_name} ({challenges}) vs {defense_label}: "
+        f"{verdict} — {len(candidates)} candidate(s) {shown}, secret={secret}"
+    )
+
+
 @dataclass
 class AttackOutcome:
     """Classified result of one attack run."""
@@ -64,12 +81,13 @@ class AttackOutcome:
         return list(range(len(self.latencies))), list(self.latencies)
 
     def summary(self) -> str:
-        candidates = self.candidates
-        shown = candidates if len(candidates) <= 8 else candidates[:8] + ["..."]
-        verdict = "ATTACK SUCCEEDED" if self.attack_succeeded else "DEFENDED"
-        return (
-            f"{self.attack_name} ({self.challenges}) vs {self.defense_label}: "
-            f"{verdict} — {len(candidates)} candidate(s) {shown}, secret={self.secret}"
+        return verdict_line(
+            self.attack_name,
+            self.challenges,
+            self.defense_label,
+            self.attack_succeeded,
+            self.candidates,
+            self.secret,
         )
 
 

@@ -34,6 +34,10 @@ class AttackOptions:
     cross_core: bool = False
     probe_gap_cycles: int = 260
     train_rounds: int = 16
+    # How the measurement phase touches a probe line: "load" (a demand load
+    # every tracker observes) or "prefetch" (a timed software prefetch that
+    # no demand-traffic defense ever sees — Adversarial Prefetch's A2).
+    probe_kind: str = "load"
 
     def __post_init__(self) -> None:
         if not 0 <= self.secret < self.num_indices:
@@ -44,6 +48,8 @@ class AttackOptions:
             raise ConfigError(f"unknown victim_mode {self.victim_mode!r}")
         if self.probe_step <= 0:
             raise ConfigError("probe_step must be positive")
+        if self.probe_kind not in ("load", "prefetch"):
+            raise ConfigError(f"unknown probe_kind {self.probe_kind!r}")
 
     @property
     def challenges(self) -> str:

@@ -102,6 +102,27 @@ def emit_prime_loop(
     builder.blt("r2", "r3", label)
 
 
+def emit_prefetchw_loop(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    """Adversarial Prefetch phase 1: take ownership of every probe line.
+
+    ``prefetchw`` pulls each line into the attacker's L1 *exclusively* and
+    invalidates any other core's copy; a later access by the victim steals
+    the line back, which the probe phase detects as the L1 miss.
+    """
+    label = builder.fresh_label("ownw")
+    builder.li("r1", layout.probe_base)
+    builder.li("r2", 0)
+    builder.li("r3", options.num_indices)
+    builder.label(label)
+    builder.mul("r4", "r2", options.scale)
+    builder.add("r5", "r1", "r4")
+    builder.prefetchw(0, "r5")
+    builder.add("r2", "r2", 1)
+    builder.blt("r2", "r3", label)
+
+
 def emit_noise_block(
     builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
 ) -> None:
@@ -214,9 +235,16 @@ def emit_probe_loop(
         builder.add("r5", "r5", "r21")
     builder.fence()  # real attacks serialise (lfence) before timing
     builder.rdcycle("r7")
-    builder.load("r6", base_offset, "r5")  # the probe load (single PC)
-    if second_way_offset is not None:
-        builder.load("r6", second_way_offset, "r5")
+    if options.probe_kind == "prefetch":
+        # Timed software prefetch: same latency classes as a load, but no
+        # demand access for a tracker to observe (Adversarial Prefetch A2).
+        builder.prefetch(base_offset, "r5")
+        if second_way_offset is not None:
+            builder.prefetch(second_way_offset, "r5")
+    else:
+        builder.load("r6", base_offset, "r5")  # the probe load (single PC)
+        if second_way_offset is not None:
+            builder.load("r6", second_way_offset, "r5")
     builder.rdcycle("r8")
     builder.sub("r9", "r8", "r7")
     skip_store = builder.fresh_label("skipst")

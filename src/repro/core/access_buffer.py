@@ -58,6 +58,7 @@ class AccessBuffer:
         self.protected_scale = None
         self.protected_blk = None
         self.guided_prefetches = 0
+        self.last_touch = 0
 
     @property
     def valid_entries(self) -> int:

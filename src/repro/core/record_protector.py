@@ -82,8 +82,14 @@ class RecordProtector:
                 # access; protect it then via `protect_after_allocation`.
                 return record.sc
             if not buffer.protected:
+                # Latch (sc, blk) and reset the guided-prefetch counter only
+                # on a protection *transition*.  Refreshing them on every hit
+                # would keep `guided_prefetches` at zero for as long as the
+                # pattern keeps hitting — exactly the sustained-access regime
+                # an adaptive attacker creates — so `unprotect_prefetch_limit`
+                # could never fire.
                 self.protections += 1
-            buffer.protect(record.sc, record.blk)
+                buffer.protect(record.sc, record.blk)
             return record.sc
 
         # No scale-buffer hit: fall back to the buffer's latched protected

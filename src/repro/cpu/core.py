@@ -59,6 +59,7 @@ class CoreStats:
     loads: int = 0
     stores: int = 0
     flushes: int = 0
+    software_prefetches: int = 0
     branches: int = 0
     mispredictions: int = 0
     squashes: int = 0
@@ -180,6 +181,8 @@ class Core:
             self._advance(self.config.base_cost)
         elif op == "clflush":
             self._do_flush(instruction)
+        elif op in ("prefetch", "prefetchw"):
+            self._do_software_prefetch(instruction)
         elif op == "nop":
             self._advance(self.config.base_cost)
         elif op == "fence":
@@ -316,6 +319,23 @@ class Core:
         latency = self.hierarchy.flush(self.core_id, addr, now=self.time)
         self.stats.flushes += 1
         self._advance(latency)
+
+    def _do_software_prefetch(self, instruction) -> None:
+        if self._speculating:
+            # Ordered like stores/flushes: not executed transiently.
+            self._advance(self.config.base_cost)
+            return
+        addr = (self.regs.read(instruction.rs0) + instruction.imm) & ((1 << 64) - 1)
+        outcome = self.hierarchy.software_prefetch(
+            self.core_id,
+            addr,
+            now=self.time,
+            write=(instruction.op == "prefetchw"),
+        )
+        self.stats.software_prefetches += 1
+        # No destination register: the only architectural effect is time —
+        # which is the whole point of a prefetch-latency probe.
+        self._advance(self._charged_latency(outcome.latency))
 
     def _do_branch(self, instruction) -> None:
         op = instruction.op

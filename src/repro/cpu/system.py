@@ -92,7 +92,9 @@ class System:
                 active = [c for c in active if not c.halted]
             if sample_interval and steps % sample_interval == 0:
                 samples.append((steps, sample_fn(self)))
-            if steps >= max_steps:
+            if steps >= max_steps and active:
+                # Only a run with work left is a runaway; when the final
+                # step halted the last core the budget was exactly enough.
                 raise SimulationError(
                     f"exceeded {max_steps} scheduler steps; "
                     "a program probably fails to halt"

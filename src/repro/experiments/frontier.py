@@ -56,7 +56,15 @@ DEFAULT_GRID: dict[str, tuple[int, ...]] = {
 
 #: Attack kinds scored by default (Evict+Time is excluded: whole-run
 #: timing channels are outside PREFENDER's threat model, paper Table II).
-DEFAULT_ATTACKS = ("flush-reload", "evict-reload", "prime-probe")
+#: The adversarial-prefetch variants keep the frontier honest against the
+#: strongest published prefetch-channel adversary (Guo et al. 2022).
+DEFAULT_ATTACKS = (
+    "flush-reload",
+    "evict-reload",
+    "prime-probe",
+    "adversarial-prefetch-a1",
+    "adversarial-prefetch-a2",
+)
 
 #: Perf workloads scored by default: one memory-pattern winner and one
 #: pointer-chasing workload, the two shapes the paper's tables contrast.

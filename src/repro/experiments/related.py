@@ -53,6 +53,21 @@ TABLE_II_CLAIMS = {
     # defended by PREFENDER: the attacker times the whole victim run, so
     # decoy lines add no ambiguity — the single anomalous round survives.
     ("prefender", "Evict+Time", True): False,
+    # Adversarial Prefetch (Guo et al. 2022): cross-core, prefetchw-based.
+    # BITP only reacts to inclusive-LLC back-invalidations; prefetchw's
+    # ownership steals are coherence traffic, so BITP never fires.
+    ("bitp", "AdvPrefetch-A1", False): False,
+    ("bitp", "AdvPrefetch-A2", False): False,
+    # PCG-style random same-set prefetching observes A1's demand-load probe
+    # and pollutes the attacker's own sets into ambiguity — but A2 probes
+    # with timed prefetches it never sees, and goes straight through.
+    ("disruptive", "AdvPrefetch-A1", False): True,
+    ("disruptive", "AdvPrefetch-A2", False): False,
+    # PREFENDER defends both: the victim-side Scale Tracker migrates the
+    # secret's neighbours out of the attacker's L1 along with the secret
+    # (and, for A1, the attacker-side Access Tracker outruns the probe).
+    ("prefender", "AdvPrefetch-A1", False): True,
+    ("prefender", "AdvPrefetch-A2", False): True,
 }
 
 ATTACKS = {
@@ -60,7 +75,13 @@ ATTACKS = {
     "Evict+Reload": "evict-reload",
     "Prime+Probe": "prime-probe",
     "Evict+Time": "evict-time",
+    "AdvPrefetch-A1": "adversarial-prefetch-a1",
+    "AdvPrefetch-A2": "adversarial-prefetch-a2",
 }
+
+#: Display names for the ablation rows ("disruptive" is the in-tree
+#: stand-in for PCG-style conflict-obfuscating prefetch defenses).
+DEFENSE_LABELS = {"disruptive": "disruptive/PCG"}
 
 
 @dataclass
@@ -121,8 +142,9 @@ def render(rows: list[AblationRow]) -> str:
     lines = ["Table II ablation: defense coverage of related prefetch defenses"]
     for row in rows:
         status = "matches paper" if row.matches_paper else "MISMATCH"
+        defense = DEFENSE_LABELS.get(row.defense, row.defense)
         lines.append(
-            f"  {row.defense:>10} vs {row.attack:<13} "
+            f"  {defense:>14} vs {row.attack:<14} "
             f"defended={str(row.observed_defended):<5} "
             f"(paper: {row.expected_defended}, {row.candidates} candidates) "
             f"[{status}]"

@@ -206,10 +206,10 @@ class _Parser:
             source = self.parse_register(operands[0], line_no)
             offset, base = self._offset_base(operands[1], line_no)
             return Instruction("store", rs0=source, rs1=base, imm=offset)
-        if op == "clflush":
+        if op in ("clflush", "prefetch", "prefetchw"):
             self._arity(op, operands, 1, line_no)
             offset, base = self._offset_base(operands[0], line_no)
-            return Instruction("clflush", rs0=base, imm=offset)
+            return Instruction(op, rs0=base, imm=offset)
         if op == "rdcycle":
             self._arity(op, operands, 1, line_no)
             return Instruction("rdcycle", rd=self.parse_register(operands[0], line_no))

@@ -133,6 +133,16 @@ class ProgramBuilder:
             Instruction("clflush", rs0=register_index(base), imm=offset)
         )
 
+    def prefetch(self, offset: int, base: str) -> "ProgramBuilder":
+        return self._emit(
+            Instruction("prefetch", rs0=register_index(base), imm=offset)
+        )
+
+    def prefetchw(self, offset: int, base: str) -> "ProgramBuilder":
+        return self._emit(
+            Instruction("prefetchw", rs0=register_index(base), imm=offset)
+        )
+
     def rdcycle(self, rd: str) -> "ProgramBuilder":
         return self._emit(Instruction("rdcycle", rd=register_index(rd)))
 

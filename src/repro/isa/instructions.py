@@ -14,6 +14,12 @@ ISA; the timing core dispatches on ``op``.  Field meaning by opcode:
 ``load``     ``rd`` <- MEM[``rs0`` + ``imm``]
 ``store``    MEM[``rs1`` + ``imm``] <- ``rs0``
 ``clflush``  flush the cacheline containing ``rs0`` + ``imm``
+``prefetch`` non-faulting read prefetch of the line at ``rs0`` + ``imm``
+             into this core's L1D; no register is written, but the
+             instruction's latency reflects where the line was found
+``prefetchw`` prefetch with write intent (x86 ``prefetchw``): additionally
+             takes cross-core ownership, invalidating other cores' L1
+             copies of the line
 ``rdcycle``  ``rd`` <- current cycle count
 ``beq/bne``  branch to ``target`` when ``rs0`` ==/!= ``rs1``
 ``blt/bge``  branch to ``target`` on signed </>= comparison
@@ -38,7 +44,8 @@ MUL_LIKE_OPS = frozenset({"mul", "sll", "srl"})
 OTHER_ALU_OPS = frozenset({"and", "or", "xor"})
 ALU_OPS = ADD_LIKE_OPS | MUL_LIKE_OPS | OTHER_ALU_OPS
 BRANCH_OPS = frozenset({"beq", "bne", "blt", "bge"})
-MEMORY_OPS = frozenset({"load", "store", "clflush"})
+PREFETCH_OPS = frozenset({"prefetch", "prefetchw"})
+MEMORY_OPS = frozenset({"load", "store", "clflush"}) | PREFETCH_OPS
 ALL_OPS = (
     ALU_OPS
     | BRANCH_OPS
@@ -97,8 +104,8 @@ class Instruction:
             return f"load {register_name(self.rd)}, {self.imm}({register_name(self.rs0)})"
         if op == "store":
             return f"store {register_name(self.rs0)}, {self.imm}({register_name(self.rs1)})"
-        if op == "clflush":
-            return f"clflush {self.imm}({register_name(self.rs0)})"
+        if op in ("clflush", "prefetch", "prefetchw"):
+            return f"{op} {self.imm}({register_name(self.rs0)})"
         if op == "rdcycle":
             return f"rdcycle {register_name(self.rd)}"
         if op in BRANCH_OPS:

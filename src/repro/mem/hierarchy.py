@@ -8,7 +8,19 @@ cross-core experiments) over main memory.  The hierarchy owns:
 * cross-L1 write invalidation (write-invalidate coherence-lite),
 * inclusive back-invalidation on L2 evictions (the hook BITP listens to),
 * prefetcher notification and prefetch issue, with per-component counts and
-  timestamped timelines (Figs. 9 and 11 read these).
+  timestamped timelines (Figs. 9 and 11 read these),
+* a software-prefetch path (:meth:`MemoryHierarchy.software_prefetch`) for
+  the ``prefetch``/``prefetchw`` instructions: non-faulting, never notifies
+  the prefetchers (hardware trackers observe demand traffic only), and its
+  latency is timeable — it reflects L1/L2/MEM residency exactly like a load.
+
+``prefetchw`` additionally models the ownership upgrade the Adversarial
+Prefetch attack (Guo et al., USENIX Security 2022) abuses: it invalidates
+every other core's L1 copy of the line and records the issuing core as the
+line's exclusive owner.  Any later access by a *different* core — demand
+load, store, hardware-prefetch fill or software prefetch — steals that
+ownership back and knocks the owner's L1 copy out (the M-state migration
+the attack times).
 
 The L1I is assumed ideal (instruction fetch costs are folded into the core's
 per-instruction base cost); the defense and all attacks live entirely on the
@@ -41,6 +53,9 @@ class HierarchyConfig:
     mshr_max_merges: int = 20
     nonblocking_stores: bool = True
     record_timelines: bool = True
+    # Extra cycles a prefetchw pays when another core's L1 held the line
+    # (the cross-core invalidation round-trip of the ownership upgrade).
+    prefetchw_snoop_latency: int = 20
 
 
 @dataclass(frozen=True)
@@ -71,8 +86,9 @@ class MemoryHierarchy:
         self.config = config or HierarchyConfig()
         self.amap = amap or AddressMap()
         self.num_cores = num_cores
+        # `config.memory_latency` is the default for an internally built
+        # memory only; a caller-supplied MainMemory keeps its own latency.
         self.memory = memory or MainMemory(latency=self.config.memory_latency)
-        self.memory.latency = self.config.memory_latency
         self._port = MemoryPort(self.memory)
         self.l2 = Cache(
             "L2",
@@ -100,6 +116,9 @@ class MemoryHierarchy:
         ]
         self._prefetchers: dict[int, Prefetcher] = {}
         self._logs = [_PrefetchLog() for _ in range(num_cores)]
+        # block address -> core id holding the line exclusively (prefetchw).
+        self._exclusive: dict[int, int] = {}
+        self.ownership_steals = 0
 
     # -- prefetcher plumbing -------------------------------------------------
 
@@ -136,6 +155,9 @@ class MemoryHierarchy:
             ready = l1d.prefetch(request.addr, now, request.component)
             if ready is None:
                 continue
+            # A hardware-prefetch fill is a read by this core: it steals any
+            # other core's exclusive (prefetchw-held) copy of the line.
+            self._yield_exclusivity(core_id, self.amap.block_addr(request.addr))
             issued += 1
             component = request.component
             log.counts[component] = log.counts.get(component, 0) + 1
@@ -167,6 +189,7 @@ class MemoryHierarchy:
     ) -> AccessOutcome:
         """Demand load: returns value + latency + fill source."""
         l1d = self.l1ds[core_id]
+        self._yield_exclusivity(core_id, self.amap.block_addr(addr))
         latency, level = l1d.access(addr, now, write=False)
         value = self.memory.read(addr)
         observation = Observation(
@@ -199,9 +222,10 @@ class MemoryHierarchy:
         invalidated (write-invalidate coherence).
         """
         l1d = self.l1ds[core_id]
+        block_addr = self.amap.block_addr(addr)
+        self._yield_exclusivity(core_id, block_addr)
         latency, level = l1d.access(addr, now, write=True)
         self.memory.write(addr, value)
-        block_addr = self.amap.block_addr(addr)
         for other_id, other in enumerate(self.l1ds):
             if other_id != core_id and other.invalidate_block(block_addr):
                 other.stats.cross_invalidations += 1
@@ -224,11 +248,54 @@ class MemoryHierarchy:
     def flush(self, core_id: int, addr: int, now: int) -> int:
         """clflush: evict the line from every cache level, everywhere."""
         block_addr = self.amap.block_addr(addr)
+        self._exclusive.pop(block_addr, None)
         for l1d in self.l1ds:
             l1d.flush_block(block_addr)
         self.l2.flush_block(block_addr)
         self.l1ds[core_id].stats.flushes += 1
         return self.config.flush_latency
+
+    # -- software prefetch (prefetch / prefetchw) ------------------------------
+
+    def software_prefetch(
+        self, core_id: int, addr: int, now: int, write: bool = False
+    ) -> AccessOutcome:
+        """Execute a ``prefetch`` (``write=False``) or ``prefetchw``.
+
+        Non-faulting and invisible to the hardware prefetchers — the defense
+        and the basic prefetchers observe demand traffic only, which is what
+        makes a prefetch-based probe attractive to an attacker.  The returned
+        latency composes exactly like a load's (L1 hit / L2 hit / memory), so
+        a timed prefetch distinguishes where the line resided.
+
+        ``prefetchw`` additionally upgrades ownership: every other core's L1
+        copy is invalidated (paying ``prefetchw_snoop_latency`` when one
+        existed) and the issuing core is recorded as the line's exclusive
+        owner until another core touches the line.
+
+        Like any prefetch, it is droppable: a miss that finds no free
+        prefetch MSHR is squashed (x86 semantics) — the instruction retires
+        after the tag lookup with no fill and no ownership change.
+        """
+        l1d = self.l1ds[core_id]
+        block_addr = self.amap.block_addr(addr)
+        if not l1d.contains(block_addr) and not l1d.mshr.prefetch_available(now):
+            l1d.mshr.prefetch_drops += 1
+            l1d.stats.prefetch_dropped += 1
+            return AccessOutcome(value=0, latency=l1d.hit_latency, level="DROPPED")
+        snooped = False
+        if write:
+            for other_id, other in enumerate(self.l1ds):
+                if other_id != core_id and other.invalidate_block(block_addr):
+                    other.stats.cross_invalidations += 1
+                    snooped = True
+            self._exclusive[block_addr] = core_id
+        else:
+            self._yield_exclusivity(core_id, block_addr)
+        latency, level = l1d.access(addr, now, write=False, demand=False)
+        if snooped:
+            latency += self.config.prefetchw_snoop_latency
+        return AccessOutcome(value=0, latency=latency, level=level)
 
     # -- structural queries ---------------------------------------------------
 
@@ -239,9 +306,28 @@ class MemoryHierarchy:
         """Functional read without timing effects (tests/analysis)."""
         return self.memory.peek(addr)
 
+    # -- ownership (prefetchw) -------------------------------------------------
+
+    def _yield_exclusivity(self, core_id: int, block_addr: int) -> None:
+        """Steal an exclusively held line when another core touches it.
+
+        The owner's L1 copy is invalidated (the line "migrates" to the
+        toucher, making the loss observable in the owner's later timings) and
+        the exclusivity record is dropped.  An access by the owner itself
+        keeps ownership.
+        """
+        owner = self._exclusive.get(block_addr)
+        if owner is None or owner == core_id:
+            return
+        if self.l1ds[owner].invalidate_block(block_addr):
+            self.l1ds[owner].stats.cross_invalidations += 1
+        del self._exclusive[block_addr]
+        self.ownership_steals += 1
+
     # -- inclusive back-invalidation ------------------------------------------
 
     def _back_invalidate(self, block_addr: int, now: int) -> None:
+        self._exclusive.pop(block_addr, None)
         for core_id, l1d in enumerate(self.l1ds):
             if l1d.invalidate_block(block_addr):
                 l1d.stats.back_invalidations += 1

@@ -25,6 +25,8 @@ batch:
 
 from repro.runner.executor import run_batch
 from repro.runner.job import (
+    ADVERSARIAL_PREFETCH_FAMILY,
+    ADVERSARIAL_PREFETCH_VARIANTS,
     ATTACK_KINDS,
     KEY_VERSION,
     AttackJob,
@@ -39,6 +41,8 @@ from repro.runner.pool import WorkerPool, default_workers
 from repro.runner.store import DEFAULT_CACHE_DIR, ResultStore
 
 __all__ = [
+    "ADVERSARIAL_PREFETCH_FAMILY",
+    "ADVERSARIAL_PREFETCH_VARIANTS",
     "ATTACK_KINDS",
     "AttackJob",
     "AttackProbe",

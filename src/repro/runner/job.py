@@ -32,6 +32,8 @@ import json
 from dataclasses import dataclass, field
 
 from repro.attacks import (
+    AdversarialPrefetchA1,
+    AdversarialPrefetchA2,
     AttackOutcome,
     EvictReloadAttack,
     EvictTimeAttack,
@@ -55,6 +57,15 @@ ATTACK_KINDS = {
     "evict-reload": EvictReloadAttack,
     "prime-probe": PrimeProbeAttack,
     "evict-time": EvictTimeAttack,
+    "adversarial-prefetch-a1": AdversarialPrefetchA1,
+    "adversarial-prefetch-a2": AdversarialPrefetchA2,
+}
+
+#: Family name the CLI expands to every adversarial-prefetch variant.
+ADVERSARIAL_PREFETCH_FAMILY = "adversarial-prefetch"
+ADVERSARIAL_PREFETCH_VARIANTS = {
+    "a1": "adversarial-prefetch-a1",
+    "a2": "adversarial-prefetch-a2",
 }
 
 

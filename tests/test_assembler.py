@@ -157,3 +157,25 @@ def test_name_directive():
 def test_case_insensitive_mnemonics():
     program = assemble("LI r1, 1\nHALT")
     assert program.instructions[0].op == "li"
+
+
+def test_prefetch_ops_assemble_and_roundtrip():
+    from repro.isa.assembler import assemble
+
+    program = assemble(
+        """
+        li r1, 0x1000
+        prefetch 0(r1)
+        prefetchw 64(r1)
+        halt
+        """
+    )
+    ops = [instruction.op for instruction in program.instructions]
+    assert ops == ["li", "prefetch", "prefetchw", "halt"]
+    assert program.instructions[1].rs0 == 1 and program.instructions[1].imm == 0
+    assert program.instructions[2].imm == 64
+    # to_text round-trips through the assembler.
+    again = assemble(program.to_text())
+    assert [i.to_text() for i in again.instructions] == [
+        i.to_text() for i in program.instructions
+    ]

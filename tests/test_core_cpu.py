@@ -228,3 +228,87 @@ def test_stats_counters():
     assert core.stats.flushes == 1
     assert core.stats.branches == 1
     assert core.stats.instructions_retired == 6
+
+
+def test_software_prefetch_executes_and_charges_latency():
+    core, hierarchy = run_core(
+        """
+        li r1, 0x1000
+        rdcycle r7
+        prefetch 0(r1)          # cold: full memory path
+        rdcycle r8
+        sub r9, r8, r7
+        rdcycle r10
+        prefetch 0(r1)          # warm: L1 hit
+        rdcycle r11
+        sub r12, r11, r10
+        load r2, 0(r1)
+        halt
+        """
+    )
+    assert core.stats.software_prefetches == 2
+    # rdcycle serialises, so the prefetch pays its full residency latency;
+    # each measurement includes the first rdcycle's own cycle.
+    assert core.regs.read(9) == 136 + 1
+    assert core.regs.read(12) == 4 + 1
+    # The demand load then hits the prefetched (useful) line.
+    assert core.stats.loads == 1
+    assert hierarchy.l1ds[0].stats.useful_prefetches == 1
+
+
+def test_prefetchw_assembles_and_counts():
+    core, hierarchy = run_core(
+        """
+        li r1, 0x2000
+        prefetchw 0(r1)
+        halt
+        """
+    )
+    assert core.stats.software_prefetches == 1
+    assert hierarchy.l1_contains(0, 0x2000)
+
+
+def test_software_prefetch_writes_no_register():
+    core, _ = run_core(
+        """
+        li r6, 123
+        li r1, 0x3000
+        prefetch 0(r1)
+        halt
+        """
+    )
+    assert core.regs.read(6) == 123
+
+
+def _tiny_system():
+    from repro.cpu.system import System
+    from repro.isa.builder import ProgramBuilder
+
+    builder = ProgramBuilder("tiny")
+    builder.li("r1", 1)
+    builder.halt()
+    return System([builder.build()], MemoryHierarchy(num_cores=1))
+
+
+def test_run_succeeds_when_final_step_halts_the_last_core():
+    """A budget that is exactly enough is enough — not a runaway."""
+    result = _tiny_system().run(max_steps=2)
+    assert result.instructions == 2
+
+
+def test_run_raises_only_with_work_left():
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        _tiny_system().run(max_steps=1)
+
+
+def test_access_buffer_reset_clears_last_touch():
+    from repro.core.access_buffer import AccessBuffer
+
+    buffer = AccessBuffer(capacity=4)
+    buffer.reset(0x400000)
+    buffer.record(0x1000, now=99_999)
+    assert buffer.last_touch == 99_999
+    buffer.reset(0x400004)  # reallocated to a new PC
+    assert buffer.last_touch == 0, "no inherited idle clock"

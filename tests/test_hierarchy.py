@@ -124,3 +124,105 @@ def test_observation_hit_flag(hierarchy):
     hierarchy.load(0, 0x9000, now=500)
     assert prefetcher.observations[0].hit is False
     assert prefetcher.observations[1].hit is True
+
+
+# --- software prefetch (prefetch / prefetchw) --------------------------------
+
+def test_software_prefetch_latency_distinguishes_residency(hierarchy):
+    # Cold: the prefetch fill walks the whole path, like a load would.
+    outcome = hierarchy.software_prefetch(0, 0x1000, now=0)
+    assert (outcome.latency, outcome.level) == (4 + 12 + 120, "MEM")
+    assert hierarchy.l1_contains(0, 0x1000)
+    # Warm L1: the timed prefetch reveals residency.
+    outcome = hierarchy.software_prefetch(0, 0x1000, now=500)
+    assert (outcome.latency, outcome.level) == (4, "L1D")
+    # Other core, line in shared L2: the L2-hit class.
+    outcome = hierarchy.software_prefetch(1, 0x1000, now=1000)
+    assert (outcome.latency, outcome.level) == (16, "L2")
+
+
+def test_software_prefetch_never_notifies_prefetchers(hierarchy):
+    prefetcher = _RecordingPrefetcher()
+    hierarchy.attach_prefetcher(0, prefetcher)
+    hierarchy.software_prefetch(0, 0xA000, now=0)
+    hierarchy.software_prefetch(0, 0xB000, now=100, write=True)
+    assert prefetcher.observations == [], "prefetches are not demand traffic"
+
+
+def test_prefetchw_invalidates_other_core_and_pays_snoop(hierarchy):
+    hierarchy.load(1, 0x2000, now=0)  # the victim holds the line
+    assert hierarchy.l1_contains(1, 0x2000)
+    outcome = hierarchy.software_prefetch(0, 0x2000, now=500, write=True)
+    assert not hierarchy.l1_contains(1, 0x2000)
+    assert hierarchy.l1_contains(0, 0x2000)
+    snoop = HierarchyConfig().prefetchw_snoop_latency
+    assert outcome.latency == 16 + snoop  # L2-hit fill + invalidation trip
+    assert hierarchy.l1ds[1].stats.cross_invalidations == 1
+    # No other copy: no snoop penalty.
+    outcome = hierarchy.software_prefetch(0, 0x2000, now=1000, write=True)
+    assert outcome.latency == 4
+
+
+def test_exclusive_line_is_stolen_by_other_core_access(hierarchy):
+    hierarchy.software_prefetch(0, 0x3000, now=0, write=True)
+    assert hierarchy.l1_contains(0, 0x3000)
+    # The owner's own traffic keeps ownership.
+    hierarchy.load(0, 0x3000, now=100)
+    assert hierarchy.l1_contains(0, 0x3000)
+    assert hierarchy.ownership_steals == 0
+    # Another core's demand load migrates the line out of the owner's L1.
+    hierarchy.load(1, 0x3000, now=200)
+    assert not hierarchy.l1_contains(0, 0x3000)
+    assert hierarchy.ownership_steals == 1
+    # Ownership is gone: further victim accesses steal nothing more.
+    hierarchy.load(1, 0x3000, now=300)
+    assert hierarchy.ownership_steals == 1
+
+
+def test_exclusive_line_is_stolen_by_hardware_prefetch_fill(hierarchy):
+    hierarchy.software_prefetch(0, 0x5000 + 64, now=0, write=True)
+    assert hierarchy.l1_contains(0, 0x5040)
+    # Core 1's prefetcher pulls the neighbour line: same steal semantics —
+    # this is how the victim-side defense decoys reach the attacker's L1.
+    hierarchy.attach_prefetcher(1, _RecordingPrefetcher())
+    hierarchy.load(1, 0x5000, now=100)
+    assert not hierarchy.l1_contains(0, 0x5040)
+    assert hierarchy.ownership_steals == 1
+
+
+def test_flush_drops_exclusivity(hierarchy):
+    hierarchy.software_prefetch(0, 0x6000, now=0, write=True)
+    hierarchy.flush(0, 0x6000, now=100)
+    # After the flush the line is unowned: a victim access steals nothing.
+    hierarchy.load(1, 0x6000, now=200)
+    assert hierarchy.ownership_steals == 0
+
+
+def test_injected_memory_latency_survives_init():
+    from repro.mem.memory import MainMemory
+
+    memory = MainMemory(latency=77)
+    hierarchy = MemoryHierarchy(num_cores=1, memory=memory)
+    assert hierarchy.memory.latency == 77, "caller-supplied latency kept"
+    assert hierarchy.load(0, 0x1000, now=0).latency == 4 + 12 + 77
+    # Without an injected memory the config default still applies.
+    from repro.mem.hierarchy import HierarchyConfig as _Config
+
+    default = MemoryHierarchy(num_cores=1, config=_Config(memory_latency=33))
+    assert default.memory.latency == 33
+
+
+def test_software_prefetch_drops_when_prefetch_mshrs_full(hierarchy):
+    # The L1 prefetch MSHR pool holds 2 in-flight fills; a third cold
+    # software prefetch at the same instant is squashed (x86 semantics).
+    assert hierarchy.software_prefetch(0, 0x10000, now=0).level == "MEM"
+    assert hierarchy.software_prefetch(0, 0x20000, now=0).level == "MEM"
+    dropped = hierarchy.software_prefetch(0, 0x30000, now=0, write=True)
+    assert dropped.level == "DROPPED"
+    assert dropped.latency == hierarchy.l1ds[0].hit_latency
+    assert not hierarchy.l1_contains(0, 0x30000), "no fill on a drop"
+    hierarchy.load(1, 0x30000, now=10)
+    assert hierarchy.ownership_steals == 0, "no ownership claim on a drop"
+    assert hierarchy.l1ds[0].stats.prefetch_dropped == 1
+    # Once the fills land, the same prefetch goes through.
+    assert hierarchy.software_prefetch(0, 0x30000, now=5000).level == "L2"

@@ -32,6 +32,8 @@ def test_is_memory():
     assert Instruction("load", rd=1, rs0=2, imm=0).is_memory()
     assert Instruction("store", rs0=1, rs1=2, imm=0).is_memory()
     assert Instruction("clflush", rs0=1, imm=0).is_memory()
+    assert Instruction("prefetch", rs0=1, imm=0).is_memory()
+    assert Instruction("prefetchw", rs0=1, imm=0).is_memory()
     assert not Instruction("add", rd=1, rs0=1, imm=1).is_memory()
 
 
@@ -45,6 +47,8 @@ def test_is_memory():
         (Instruction("load", rd=1, rs0=2, imm=8), "load r1, 8(r2)"),
         (Instruction("store", rs0=1, rs1=2, imm=8), "store r1, 8(r2)"),
         (Instruction("clflush", rs0=3, imm=0), "clflush 0(r3)"),
+        (Instruction("prefetch", rs0=3, imm=64), "prefetch 64(r3)"),
+        (Instruction("prefetchw", rs0=5, imm=0), "prefetchw 0(r5)"),
         (Instruction("rdcycle", rd=4), "rdcycle r4"),
         (Instruction("beq", rs0=1, rs1=0, target="loop"), "beq r1, r0, loop"),
         (Instruction("jmp", target="end"), "jmp end"),

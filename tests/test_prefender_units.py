@@ -273,6 +273,102 @@ def test_rp_unprotects_after_prefetch_limit():
     assert rp.unprotections == 1
 
 
+def test_rp_refresh_does_not_reset_guided_prefetch_counter():
+    """A scale-buffer hit on an already-protected buffer must not re-latch.
+
+    Re-latching zeroed ``guided_prefetches`` on every hit, so a sustained
+    pattern (exactly what an adaptive attacker produces) kept protection
+    alive forever — ``unprotect_prefetch_limit`` could never fire.
+    """
+    tracker = make_tracker()
+    rp = RecordProtector(unprotect_prefetch_limit=4)
+    rp.record_scale(0x200, 0x1000)
+    tracker.observe_load(obs(0x1000, pc=0xA), absent)
+    rp.guidance_for(obs(0x1000, pc=0xA), tracker)
+    buffer = tracker.buffer_for_pc(0xA)
+    assert buffer.protected and rp.protections == 1
+    buffer.guided_prefetches = 3
+    # Another hit on the same pattern: guidance continues, counter survives.
+    assert rp.guidance_for(obs(0x1200, pc=0xA), tracker) == 0x200
+    assert buffer.guided_prefetches == 3
+    assert rp.protections == 1, "refresh is not a protection transition"
+
+
+def test_rp_protection_expires_under_sustained_pattern():
+    """Expiry fires after exactly ``unprotect_prefetch_limit`` guided
+    prefetches even while the attacker's pattern keeps hitting the scale
+    buffer — the sustained-access regime where the pre-fix code re-latched
+    the counter on every hit and protection never expired."""
+    limit = 8
+    tracker = make_tracker()
+    rp = RecordProtector(unprotect_prefetch_limit=limit)
+    rp.record_scale(0x200, 0x1000)
+    first = obs(0x1000, pc=0xA)
+    guided = rp.guidance_for(first, tracker)  # buffer not yet allocated
+    tracker.observe_load(first, absent, guided_scale=guided)
+    rp.protect_after_allocation(first, tracker)
+    buffer = tracker.buffer_for_pc(0xA)
+    assert buffer.protected
+    guided_total = 0
+    addr = 0x1000
+    for step in range(1, 4 * limit):
+        addr += 0x200
+        observation = obs(addr, pc=0xA, now=step)
+        guided = rp.guidance_for(observation, tracker)
+        assert guided == 0x200, "the pattern hits throughout"
+        if rp.unprotections:
+            break
+        requests = tracker.observe_load(
+            observation, absent, guided_scale=guided
+        )
+        guided_total += len(requests)
+    else:
+        raise AssertionError(
+            "protection never expired under sustained scale-buffer hits"
+        )
+    assert guided_total == limit, "expiry after exactly the prefetch limit"
+    assert rp.unprotections == 1
+    # The still-hitting pattern may legitimately re-protect the buffer, but
+    # only as a fresh transition with a zeroed guided-prefetch budget.
+    assert buffer.protected and buffer.guided_prefetches == 0
+    assert rp.protections == 2
+
+
+def test_rp_expiry_is_permanent_once_the_record_is_replaced():
+    """With the scale-buffer entry gone (Fig. 7(b)), the latched-scale
+    fallback also stops at the limit — no re-protection is possible."""
+    limit = 4
+    tracker = make_tracker()
+    rp = RecordProtector(scale_buffer_entries=1, unprotect_prefetch_limit=limit)
+    rp.record_scale(0x200, 0x1000)
+    first = obs(0x1000, pc=0xA)
+    guided = rp.guidance_for(first, tracker)
+    tracker.observe_load(first, absent, guided_scale=guided)
+    rp.protect_after_allocation(first, tracker)
+    buffer = tracker.buffer_for_pc(0xA)
+    assert buffer.protected
+    # The single scale-buffer entry is replaced by an unrelated pattern.
+    rp.record_scale(0x300, 0x77700040)
+    assert rp.scale_buffer.match(0x1200) is None
+    guided_total = 0
+    addr = 0x1000
+    for step in range(1, 4 * limit):
+        addr += 0x200
+        observation = obs(addr, pc=0xA, now=step)
+        guided = rp.guidance_for(observation, tracker)
+        if guided is None:
+            break
+        assert guided == 0x200
+        guided_total += len(
+            tracker.observe_load(observation, absent, guided_scale=guided)
+        )
+    else:
+        raise AssertionError("protection never expired")
+    assert guided_total == limit
+    assert not buffer.protected
+    assert rp.unprotections == 1
+
+
 def test_rp_unprotects_after_idle():
     tracker = make_tracker()
     rp = RecordProtector(unprotect_idle_cycles=100)

@@ -36,6 +36,7 @@ SPECIAL_VALUES = {
     "attack": "evict-reload",
     "system.prefetcher.kind": "tagged",
     "options.victim_mode": "spectre",
+    "options.probe_kind": "prefetch",
 }
 
 
@@ -108,7 +109,34 @@ def test_attack_job_key_covers_every_field():
     )
     base = AttackJob.build("flush-reload", system)
     base_key = base.key()
+    seen_paths = set()
     for path, mutated in _perturbations(base):
+        seen_paths.add(path)
+        assert mutated.key() != base_key, f"field {path} not in the job key"
+    # Newly added AttackOptions knobs join the walk automatically; pin the
+    # adversarial-prefetch probe primitive explicitly so it can never fall
+    # out of the content key (A1 vs A2 differ in exactly this field).
+    assert "options.probe_kind" in seen_paths
+
+
+def test_adversarial_prefetch_kinds_get_distinct_keys():
+    """A1 and A2 differ in kind name AND resolved probe_kind — never one key."""
+    # st_at keeps rp_enabled=False so boolean flips stay valid configs.
+    system = SystemConfig(
+        prefetcher=PrefetcherSpec(kind="prefender", prefender=PrefenderConfig.st_at(8))
+    )
+    a1 = AttackProbeJob.build("adversarial-prefetch-a1", system)
+    a2 = AttackProbeJob.build("adversarial-prefetch-a2", system)
+    assert a1.key() != a2.key()
+    assert a1.options.probe_kind == "load"
+    assert a2.options.probe_kind == "prefetch"
+    assert a1.options.cross_core and a2.options.cross_core
+    # The family's jobs are probe jobs (JSON-able) so --store covers them.
+    assert a1.cacheable and a2.cacheable
+    # Perturbation walk over an adversarial-prefetch job: every field of the
+    # resolved options (including the new probe_kind) lands in the key.
+    base_key = a1.key()
+    for path, mutated in _perturbations(a1):
         assert mutated.key() != base_key, f"field {path} not in the job key"
 
 
