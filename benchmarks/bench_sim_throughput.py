@@ -1,20 +1,43 @@
-"""Simulator throughput: instructions per second on a standard workload.
+"""Simulator throughput: instructions per second across the hot paths.
 
 Not a paper artifact — a regression guard so the experiment suite stays
-runnable (the tables re-run ~150 simulations).
+runnable (the tables re-run ~150 simulations).  Three scenarios cover the
+simulator's distinct hot paths; `python -m repro bench` runs the same trio
+from the CLI.  Alongside the pytest-benchmark timings, this module emits
+``benchmarks/results/BENCH_sim_throughput.json`` so the throughput
+trajectory is tracked run over run.
 """
 
-from repro import SystemConfig
-from repro.experiments.common import PERF_CORE
-from repro.sim.simulator import run_program
-from repro.workloads import get_workload
+import json
+
+from repro.sim import bench
+from conftest import RESULTS_DIR, perf_scale
+
+REPORT_PATH = RESULTS_DIR / "BENCH_sim_throughput.json"
 
 
-def test_sim_throughput(benchmark):
-    program = get_workload("462.libquantum").program(0.25)
-
-    def run():
-        return run_program(program, SystemConfig(core=PERF_CORE))
-
-    result = benchmark(run)
+def test_sim_throughput_single_core(benchmark):
+    result = benchmark(lambda: bench.run_single_core(perf_scale()))
     assert result.instructions > 1000
+
+
+def test_sim_throughput_dual_core_attack(benchmark):
+    result = benchmark(bench.run_dual_core_attack)
+    assert result.instructions > 1000
+
+
+def test_sim_throughput_speculative_spectre(benchmark):
+    result = benchmark(bench.run_speculative_spectre)
+    assert result.instructions > 1000
+
+
+def test_emit_throughput_report(emit):
+    """One best-of-3 pass over all scenarios, archived as JSON."""
+    report = bench.run_bench(scale=perf_scale(), repeats=3)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    REPORT_PATH.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    emit("bench_sim_throughput", bench.render_report(report))
+    parsed = json.loads(REPORT_PATH.read_text())
+    assert set(parsed["scenarios"]) == set(bench.SCENARIO_NAMES)
+    for cell in parsed["scenarios"].values():
+        assert cell["instr_per_sec"] > 0

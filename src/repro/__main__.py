@@ -12,6 +12,10 @@ Commands:
   ``st_max_prefetches``), with no-defense and PCG-style baselines
 * ``hwcost``   — print the Section V-E resource report
 * ``ablation`` — run the Table II related-work ablation
+* ``bench``    — time the simulator's three throughput scenarios
+  (single-core victim, dual-core attack, speculative Spectre) and emit
+  ``BENCH_sim_throughput.json``; ``--quick`` shrinks the workload for CI
+  smoke runs
 
 Simulation batches go through :mod:`repro.runner`: every run is keyed by a
 content hash over the *full* configuration (workload, scale and every
@@ -285,6 +289,21 @@ def _cmd_frontier(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.sim import bench
+
+    scale = args.scale
+    repeats = args.repeats
+    if args.quick:
+        scale = min(scale, bench.QUICK_SCALE)
+        repeats = 1
+    report = bench.run_bench(scale=scale, repeats=repeats, workload=args.workload)
+    path = bench.write_report(report, args.output)
+    print(bench.render_report(report))
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_hwcost(args: argparse.Namespace) -> int:
     print(render_report(estimate(buffers=args.buffers)))
     return 0
@@ -413,6 +432,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_store_flags(frontier_cmd)
     frontier_cmd.set_defaults(handler=_cmd_frontier)
+
+    bench_cmd = commands.add_parser(
+        "bench",
+        help="simulator throughput benchmark (emits BENCH_sim_throughput.json)",
+    )
+    bench_cmd.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: one pass at a reduced workload scale",
+    )
+    bench_cmd.add_argument(
+        "--scale", type=_scale_arg, default=0.5,
+        help="single-core workload scale factor (default 0.5)",
+    )
+    bench_cmd.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed passes per scenario; the best one is reported",
+    )
+    bench_cmd.add_argument(
+        "--workload", default="462.libquantum",
+        help="workload for the single-core scenario",
+    )
+    bench_cmd.add_argument(
+        "--output", default="BENCH_sim_throughput.json",
+        help="report path (default: ./BENCH_sim_throughput.json)",
+    )
+    bench_cmd.set_defaults(handler=_cmd_bench)
 
     hwcost = commands.add_parser("hwcost", help="Section V-E report")
     hwcost.add_argument("--buffers", type=int, default=32)

@@ -6,6 +6,14 @@ maintains the PREFENDER calculation buffer (paper Table III) at execute
 stage and threads each load's base-register *scale* into the hierarchy so
 the Scale Tracker can see it.
 
+Execution dispatches through the program's pre-decoded tuples
+(:mod:`repro.isa.decode`, built once at ``Program.finalize()``): ``step``
+indexes a handler table with the tuple's kind integer instead of walking an
+``if op == "load"`` string chain, and each handler applies both the
+architectural semantics and the matching Table III calculation-buffer rule
+in straight-line code.  ``tests/test_golden_parity.py`` pins this dispatch
+engine cycle- and counter-exact against the pre-overhaul interpreter.
+
 Speculative execution (``CoreConfig.speculative_execution``) models the
 Spectre-v1 substrate: conditional branches are predicted by a 2-bit counter
 table and resolve ``resolve_delay`` cycles after issue.  On a misprediction
@@ -22,10 +30,41 @@ from dataclasses import dataclass
 
 from repro.core.calc import CalculationBuffer
 from repro.errors import ExecutionError
-from repro.isa.instructions import ALU_OPS
-from repro.isa.program import INSTRUCTION_SIZE, Program
-from repro.isa.registers import RegisterFile
+from repro.isa.decode import (
+    K_ADD_RI,
+    K_ADD_RR,
+    K_AND_RI,
+    K_AND_RR,
+    K_BRANCH,
+    K_CLFLUSH,
+    K_FENCE,
+    K_HALT,
+    K_JMP,
+    K_LI,
+    K_LOAD,
+    K_MOV,
+    K_MUL_RI,
+    K_MUL_RR,
+    K_NOP,
+    K_OR_RI,
+    K_OR_RR,
+    K_PREFETCH,
+    K_RDCYCLE,
+    K_SLL_RI,
+    K_SLL_RR,
+    K_SRL_RI,
+    K_SRL_RR,
+    K_STORE,
+    K_SUB_RR,
+    K_XOR_RI,
+    K_XOR_RR,
+    NUM_KINDS,
+)
+from repro.isa.program import Program
+from repro.isa.registers import SIGN_BIT, WORD_MASK, RegisterFile
 from repro.mem.hierarchy import MemoryHierarchy
+
+_TWO_POW_64 = 1 << 64
 
 
 @dataclass(frozen=True)
@@ -98,6 +137,56 @@ class Core:
         self._store_buffer: list[tuple[int, int]] = []
         self._predictor: dict[int, int] = {}
         self._serialized = False
+        # Hot-loop caches: the decoded program, direct views into the
+        # register/track arrays (both mutated in place, so the references
+        # stay valid across restore/reset), and flattened config scalars.
+        self._decoded = program.decoded
+        self._program_len = len(program.decoded)
+        self._values = self.regs._values
+        self._tracks = self.calc._tracks
+        self._scale_cap = self.calc.scale_cap
+        config = self.config
+        self._base_cost = config.base_cost
+        self._mul_cost = config.mul_cost
+        self._branch_cost = config.branch_cost
+        self._load_hide = config.load_hide_cycles
+        self._spec_enabled = config.speculative_execution
+        self._resolve_delay = config.resolve_delay
+        self._predictor_entries = config.predictor_entries
+        self._spec_window = config.spec_window
+        self._dispatch = self._build_dispatch()
+
+    def _build_dispatch(self):
+        """Handler table indexed by the decode-kind integers."""
+        table: list = [None] * NUM_KINDS
+        table[K_LOAD] = self._op_load
+        table[K_STORE] = self._op_store
+        table[K_LI] = self._op_li
+        table[K_MOV] = self._op_mov
+        table[K_ADD_RR] = self._op_add_rr
+        table[K_SUB_RR] = self._op_sub_rr
+        table[K_ADD_RI] = self._op_add_ri
+        table[K_MUL_RR] = self._op_mul_rr
+        table[K_MUL_RI] = self._op_mul_ri
+        table[K_SLL_RR] = self._op_sll_rr
+        table[K_SRL_RR] = self._op_srl_rr
+        table[K_SLL_RI] = self._op_sll_ri
+        table[K_SRL_RI] = self._op_srl_ri
+        table[K_AND_RR] = self._op_and_rr
+        table[K_OR_RR] = self._op_or_rr
+        table[K_XOR_RR] = self._op_xor_rr
+        table[K_AND_RI] = self._op_and_ri
+        table[K_OR_RI] = self._op_or_ri
+        table[K_XOR_RI] = self._op_xor_ri
+        table[K_BRANCH] = self._op_branch
+        table[K_JMP] = self._op_jmp
+        table[K_RDCYCLE] = self._op_rdcycle
+        table[K_CLFLUSH] = self._op_clflush
+        table[K_PREFETCH] = self._op_prefetch
+        table[K_NOP] = self._op_nop
+        table[K_FENCE] = self._op_fence
+        table[K_HALT] = self._op_halt
+        return table
 
     # -- helpers -----------------------------------------------------------------
 
@@ -107,17 +196,7 @@ class Core:
 
     def pc_addr(self) -> int:
         """Current instruction address."""
-        return self.program.code_base + INSTRUCTION_SIZE * self.pc_index
-
-    def _predict_taken(self, index: int) -> bool:
-        counter = self._predictor.get(index % self.config.predictor_entries, 1)
-        return counter >= 2
-
-    def _train_predictor(self, index: int, taken: bool) -> None:
-        key = index % self.config.predictor_entries
-        counter = self._predictor.get(key, 1)
-        counter = min(3, counter + 1) if taken else max(0, counter - 1)
-        self._predictor[key] = counter
+        return self.program.pc_of_index(self.pc_index)
 
     def _squash(self) -> None:
         """Roll back a mispredicted path; cache/calc effects persist."""
@@ -133,6 +212,40 @@ class Core:
     def _stall_to_resolve(self) -> None:
         self.time = max(self.time, self._resolve_time)
 
+    def _retire(self) -> None:
+        """Advance past the current instruction for one base cost."""
+        self.time += self._base_cost
+        self.pc_index += 1
+        if self._speculating:
+            self.stats.transient_executed += 1
+        else:
+            self.stats.instructions_retired += 1
+
+    def _clamp_sc(self, sc: int) -> int:
+        """The calculation buffer's scale clamp: abs, >= 1, <= page size."""
+        if sc < 0:
+            sc = -sc
+        if sc < 1:
+            return 1
+        cap = self._scale_cap
+        return sc if sc <= cap else cap
+
+    def _charged_latency(self, latency: int) -> int:
+        """Stall cycles the pipeline pays for a load of ``latency`` cycles.
+
+        An OoO window hides up to ``load_hide_cycles`` of any load's
+        latency; serialised (timed) loads always pay everything.
+        """
+        if self._serialized:
+            self._serialized = False
+            return latency
+        hide = self._load_hide
+        if hide <= 0:
+            return latency
+        charged = latency - hide
+        base = self._base_cost
+        return charged if charged > base else base
+
     # -- main step ------------------------------------------------------------------
 
     def step(self) -> None:
@@ -142,240 +255,480 @@ class Core:
         if self._speculating and self.time >= self._resolve_time:
             self._squash()
             return
-        if not 0 <= self.pc_index < len(self.program.instructions):
+        index = self.pc_index
+        if 0 <= index < self._program_len:
+            d = self._decoded[index]
+            self._dispatch[d[0]](d)
             if self._speculating:
-                self._stall_to_resolve()
-                return
-            raise ExecutionError(
-                f"core {self.core_id}: pc {self.pc_index} outside program "
-                f"{self.program.name!r}"
-            )
-
-        instruction = self.program.instructions[self.pc_index]
-        op = instruction.op
-
-        if op == "load":
-            self._do_load(instruction)
-        elif op in ALU_OPS:
-            self._do_alu(instruction)
-        elif op == "li":
-            self.regs.write(instruction.rd, instruction.imm)
-            self.calc.load_immediate(instruction.rd, instruction.imm)
-            self._advance(self.config.base_cost)
-        elif op == "mov":
-            self.regs.write(instruction.rd, self.regs.read(instruction.rs0))
-            self.calc.move(instruction.rd, instruction.rs0)
-            self._advance(self.config.base_cost)
-        elif op == "store":
-            self._do_store(instruction)
-        elif op in ("beq", "bne", "blt", "bge"):
-            self._do_branch(instruction)
-        elif op == "jmp":
-            self.pc_index = instruction.target
-            self.time += self.config.branch_cost
-            self._count_retire()
-        elif op == "rdcycle":
-            self.regs.write(instruction.rd, self.time)
-            self.calc.load_from_memory(instruction.rd)  # unknown variable
-            self._serialized = True
-            self._advance(self.config.base_cost)
-        elif op == "clflush":
-            self._do_flush(instruction)
-        elif op in ("prefetch", "prefetchw"):
-            self._do_software_prefetch(instruction)
-        elif op == "nop":
-            self._advance(self.config.base_cost)
-        elif op == "fence":
-            self._serialized = True
-            if self._speculating:
-                # Serialising instruction: a transient path cannot proceed
-                # past a fence; wait for the branch to resolve (then squash).
-                self._stall_to_resolve()
-            else:
-                self._advance(self.config.base_cost)
-        elif op == "halt":
-            if self._speculating:
-                # A transient halt stalls until the branch resolves.
-                self._stall_to_resolve()
-            else:
-                self.halted = True
-                self.time += self.config.base_cost
-                self.stats.instructions_retired += 1
-        else:  # pragma: no cover - opcode set is closed
-            raise ExecutionError(f"unhandled opcode {op!r}")
-
+                self._spec_count += 1
+                if self._spec_count >= self._spec_window:
+                    self._stall_to_resolve()
+            return
         if self._speculating:
-            self._spec_count += 1
-            if self._spec_count >= self.config.spec_window:
-                self._stall_to_resolve()
+            self._stall_to_resolve()
+            return
+        raise ExecutionError(
+            f"core {self.core_id}: pc {self.pc_index} outside program "
+            f"{self.program.name!r}"
+        )
 
-    # -- instruction semantics ---------------------------------------------------------
+    # -- memory instructions -----------------------------------------------------------
 
-    def _advance(self, cost: int) -> None:
-        self.time += cost
+    def _op_load(self, d) -> None:
+        _, rd, rs0, imm, pc = d
+        values = self._values
+        addr = (values[rs0] + imm) & WORD_MASK
+        stats = self.stats
+        track = self._tracks[rd]
+        if self._speculating:
+            # Store-to-load forwarding from the speculative store buffer.
+            for buffered_addr, buffered_value in reversed(self._store_buffer):
+                if buffered_addr == addr:
+                    if rd:
+                        values[rd] = buffered_value & WORD_MASK
+                    track.fva = None
+                    track.sc = 1
+                    stats.loads += 1
+                    stats.load_latency_total += self._base_cost
+                    self.time += self._base_cost
+                    self.pc_index += 1
+                    stats.transient_executed += 1
+                    return
+        outcome = self.hierarchy.load(
+            self.core_id,
+            addr,
+            self.time,
+            pc,
+            self._tracks[rs0].sc,
+            self._speculating,
+        )
+        if rd:
+            values[rd] = outcome.value & WORD_MASK
+        track.fva = None
+        track.sc = 1
+        latency = outcome.latency
+        stats.loads += 1
+        stats.load_latency_total += latency
+        self.time += self._charged_latency(latency)
         self.pc_index += 1
-        self._count_retire()
+        if self._speculating:
+            stats.transient_executed += 1
+        else:
+            stats.instructions_retired += 1
 
-    def _count_retire(self) -> None:
+    def _op_store(self, d) -> None:
+        _, rs0, rs1, imm, pc = d
+        values = self._values
+        addr = (values[rs1] + imm) & WORD_MASK
+        if self._speculating:
+            self._store_buffer.append((addr, values[rs0]))
+            self._retire()
+            return
+        latency = self.hierarchy.store(
+            self.core_id, addr, values[rs0], self.time, pc
+        )
+        self.stats.stores += 1
+        self.time += latency
+        self.pc_index += 1
+        self.stats.instructions_retired += 1
+
+    def _op_clflush(self, d) -> None:
+        if self._speculating:
+            # Flushes are ordered like stores: they do not execute transiently.
+            self._retire()
+            return
+        _, rs0, imm = d
+        addr = (self._values[rs0] + imm) & WORD_MASK
+        latency = self.hierarchy.flush(self.core_id, addr, self.time)
+        self.stats.flushes += 1
+        self.time += latency
+        self.pc_index += 1
+        self.stats.instructions_retired += 1
+
+    def _op_prefetch(self, d) -> None:
+        if self._speculating:
+            # Ordered like stores/flushes: not executed transiently.
+            self._retire()
+            return
+        _, rs0, imm, write = d
+        addr = (self._values[rs0] + imm) & WORD_MASK
+        outcome = self.hierarchy.software_prefetch(
+            self.core_id, addr, self.time, write
+        )
+        self.stats.software_prefetches += 1
+        # No destination register: the only architectural effect is time —
+        # which is the whole point of a prefetch-latency probe.
+        self.time += self._charged_latency(outcome.latency)
+        self.pc_index += 1
+        self.stats.instructions_retired += 1
+
+    # -- register moves ----------------------------------------------------------------
+
+    def _op_li(self, d) -> None:
+        _, rd, imm = d
+        if rd:
+            self._values[rd] = imm
+        track = self._tracks[rd]
+        track.fva = imm
+        track.sc = 1
+        self._retire()
+
+    def _op_mov(self, d) -> None:
+        _, rd, rs0 = d
+        if rd:
+            self._values[rd] = self._values[rs0]
+        src = self._tracks[rs0]
+        dst = self._tracks[rd]
+        if src.fva is None:
+            dst.fva = None
+            dst.sc = src.sc
+        else:
+            dst.fva = src.fva
+            dst.sc = 1
+        self._retire()
+
+    def _op_rdcycle(self, d) -> None:
+        rd = d[1]
+        if rd:
+            self._values[rd] = self.time & WORD_MASK
+        track = self._tracks[rd]  # unknown variable under Table III
+        track.fva = None
+        track.sc = 1
+        self._serialized = True
+        self._retire()
+
+    # -- ALU: add/sub (Table III "+/-" rules) -------------------------------------------
+
+    def _op_add_rr(self, d) -> None:
+        _, rd, rs0, rs1 = d
+        values = self._values
+        if rd:
+            values[rd] = (values[rs0] + values[rs1]) & WORD_MASK
+        tracks = self._tracks
+        src, other, dst = tracks[rs0], tracks[rs1], tracks[rd]
+        sfva, ofva = src.fva, other.fva
+        if sfva is not None and ofva is not None:
+            dst.fva = (sfva + ofva) & WORD_MASK
+            dst.sc = 1
+        elif sfva is None and ofva is not None:
+            dst.fva = None
+            dst.sc = src.sc
+        elif sfva is not None:
+            dst.fva = None
+            dst.sc = other.sc
+        else:
+            dst.fva = None
+            ssc, osc = src.sc, other.sc
+            dst.sc = ssc if ssc < osc else osc
+        self._retire()
+
+    def _op_sub_rr(self, d) -> None:
+        _, rd, rs0, rs1 = d
+        values = self._values
+        if rd:
+            values[rd] = (values[rs0] - values[rs1]) & WORD_MASK
+        tracks = self._tracks
+        src, other, dst = tracks[rs0], tracks[rs1], tracks[rd]
+        sfva, ofva = src.fva, other.fva
+        if sfva is not None and ofva is not None:
+            dst.fva = (sfva - ofva) & WORD_MASK
+            dst.sc = 1
+        elif sfva is None and ofva is not None:
+            dst.fva = None
+            dst.sc = src.sc
+        elif sfva is not None:
+            dst.fva = None
+            dst.sc = other.sc
+        else:
+            dst.fva = None
+            ssc, osc = src.sc, other.sc
+            dst.sc = ssc if ssc < osc else osc
+        self._retire()
+
+    def _op_add_ri(self, d) -> None:
+        # Covers ``sub rd, rs, imm`` too: decode negates the immediate.
+        _, rd, rs0, imm = d
+        values = self._values
+        if rd:
+            values[rd] = (values[rs0] + imm) & WORD_MASK
+        tracks = self._tracks
+        src, dst = tracks[rs0], tracks[rd]
+        sfva = src.fva
+        if sfva is None:
+            # Adding an immediate offset does not change the scale.
+            dst.fva = None
+            dst.sc = src.sc
+        else:
+            dst.fva = (sfva + imm) & WORD_MASK
+            dst.sc = 1
+        self._retire()
+
+    # -- ALU: mul/shift (Table III "x" rules) -------------------------------------------
+
+    def _op_mul_rr(self, d) -> None:
+        _, rd, rs0, rs1 = d
+        values = self._values
+        if rd:
+            values[rd] = (values[rs0] * values[rs1]) & WORD_MASK
+        tracks = self._tracks
+        src, other, dst = tracks[rs0], tracks[rs1], tracks[rd]
+        sfva, ofva = src.fva, other.fva
+        if sfva is not None and ofva is not None:
+            dst.fva = (sfva * ofva) & WORD_MASK
+            dst.sc = 1
+        elif sfva is None and ofva is not None:
+            dst.fva = None
+            dst.sc = self._clamp_sc(src.sc * ofva)
+        elif sfva is not None:
+            dst.fva = None
+            dst.sc = self._clamp_sc(sfva * other.sc)
+        else:
+            dst.fva = None
+            dst.sc = self._clamp_sc(src.sc * other.sc)
+        self.time += self._mul_cost
+        self.pc_index += 1
         if self._speculating:
             self.stats.transient_executed += 1
         else:
             self.stats.instructions_retired += 1
 
-    def _alu_operand(self, instruction) -> int:
-        if instruction.rs1 is not None:
-            return self.regs.read(instruction.rs1)
-        return instruction.imm & ((1 << 64) - 1)
-
-    def _do_alu(self, instruction) -> None:
-        op = instruction.op
-        a = self.regs.read(instruction.rs0)
-        b = self._alu_operand(instruction)
-        if op == "add":
-            result = a + b
-        elif op == "sub":
-            result = a - b
-        elif op == "mul":
-            result = a * b
-        elif op == "sll":
-            result = a << (b & 0x3F)
-        elif op == "srl":
-            result = a >> (b & 0x3F)
-        elif op == "and":
-            result = a & b
-        elif op == "or":
-            result = a | b
-        else:  # xor
-            result = a ^ b
-        self.regs.write(instruction.rd, result)
-        if instruction.rs1 is not None:
-            self.calc.alu(op, instruction.rd, instruction.rs0, rs1=instruction.rs1)
+    def _op_mul_ri(self, d) -> None:
+        _, rd, rs0, imm = d
+        values = self._values
+        if rd:
+            values[rd] = (values[rs0] * imm) & WORD_MASK
+        tracks = self._tracks
+        src, dst = tracks[rs0], tracks[rd]
+        sfva = src.fva
+        if sfva is None:
+            dst.fva = None
+            dst.sc = self._clamp_sc(src.sc * imm)
         else:
-            self.calc.alu(op, instruction.rd, instruction.rs0, imm=instruction.imm)
-        cost = self.config.mul_cost if op == "mul" else self.config.base_cost
-        self._advance(cost)
-
-    def _do_load(self, instruction) -> None:
-        base = instruction.rs0
-        addr = (self.regs.read(base) + instruction.imm) & ((1 << 64) - 1)
-        # Store-to-load forwarding from the speculative store buffer.
-        forwarded = None
+            dst.fva = (sfva * imm) & WORD_MASK
+            dst.sc = 1
+        self.time += self._mul_cost
+        self.pc_index += 1
         if self._speculating:
-            for buffered_addr, buffered_value in reversed(self._store_buffer):
-                if buffered_addr == addr:
-                    forwarded = buffered_value
-                    break
-        if forwarded is not None:
-            self.regs.write(instruction.rd, forwarded)
-            self.calc.load_from_memory(instruction.rd)
-            self._advance(self.config.base_cost)
-            return
-        outcome = self.hierarchy.load(
-            self.core_id,
-            addr,
-            now=self.time,
-            pc=self.pc_addr(),
-            scale=self.calc.scale_of(base),
-            speculative=self._speculating,
-        )
-        self.regs.write(instruction.rd, outcome.value)
-        self.calc.load_from_memory(instruction.rd)
-        self.stats.loads += 1
-        self.stats.load_latency_total += outcome.latency
-        self._advance(self._charged_latency(outcome.latency))
-
-    def _charged_latency(self, latency: int) -> int:
-        """Stall cycles the pipeline pays for a load of ``latency`` cycles.
-
-        An OoO window hides up to ``load_hide_cycles`` of any load's
-        latency; serialised (timed) loads always pay everything.
-        """
-        serialized = self._serialized
-        self._serialized = False
-        hide = self.config.load_hide_cycles
-        if serialized or hide <= 0:
-            return latency
-        return max(self.config.base_cost, latency - hide)
-
-    def _do_store(self, instruction) -> None:
-        addr = (self.regs.read(instruction.rs1) + instruction.imm) & ((1 << 64) - 1)
-        value = self.regs.read(instruction.rs0)
-        if self._speculating:
-            self._store_buffer.append((addr, value))
-            self._advance(self.config.base_cost)
-            return
-        latency = self.hierarchy.store(
-            self.core_id, addr, value, now=self.time, pc=self.pc_addr()
-        )
-        self.stats.stores += 1
-        self._advance(latency)
-
-    def _do_flush(self, instruction) -> None:
-        if self._speculating:
-            # Flushes are ordered like stores: they do not execute transiently.
-            self._advance(self.config.base_cost)
-            return
-        addr = (self.regs.read(instruction.rs0) + instruction.imm) & ((1 << 64) - 1)
-        latency = self.hierarchy.flush(self.core_id, addr, now=self.time)
-        self.stats.flushes += 1
-        self._advance(latency)
-
-    def _do_software_prefetch(self, instruction) -> None:
-        if self._speculating:
-            # Ordered like stores/flushes: not executed transiently.
-            self._advance(self.config.base_cost)
-            return
-        addr = (self.regs.read(instruction.rs0) + instruction.imm) & ((1 << 64) - 1)
-        outcome = self.hierarchy.software_prefetch(
-            self.core_id,
-            addr,
-            now=self.time,
-            write=(instruction.op == "prefetchw"),
-        )
-        self.stats.software_prefetches += 1
-        # No destination register: the only architectural effect is time —
-        # which is the whole point of a prefetch-latency probe.
-        self._advance(self._charged_latency(outcome.latency))
-
-    def _do_branch(self, instruction) -> None:
-        op = instruction.op
-        if op in ("beq", "bne"):
-            a = self.regs.read(instruction.rs0)
-            b = self.regs.read(instruction.rs1)
-            taken = (a == b) if op == "beq" else (a != b)
+            self.stats.transient_executed += 1
         else:
-            a = self.regs.read_signed(instruction.rs0)
-            b = self.regs.read_signed(instruction.rs1)
-            taken = (a < b) if op == "blt" else (a >= b)
-        actual_index = instruction.target if taken else self.pc_index + 1
-        self.stats.branches += 1
+            self.stats.instructions_retired += 1
 
-        if not self.config.speculative_execution or self._speculating:
+    def _op_sll_rr(self, d) -> None:
+        _, rd, rs0, rs1 = d
+        values = self._values
+        shift = values[rs1] & 0x3F
+        if rd:
+            values[rd] = (values[rs0] << shift) & WORD_MASK
+        tracks = self._tracks
+        src, other, dst = tracks[rs0], tracks[rs1], tracks[rd]
+        sfva, ofva = src.fva, other.fva
+        if sfva is not None and ofva is not None:
+            dst.fva = (sfva << (ofva & 0x3F)) & WORD_MASK
+            dst.sc = 1
+        elif sfva is None and ofva is not None:
+            dst.fva = None
+            dst.sc = self._clamp_sc(src.sc << (ofva & 0x3F))
+        else:
+            # Shift by an unknown amount: conservatively reinitialise.
+            dst.fva = None
+            dst.sc = 1
+        self._retire()
+
+    def _op_srl_rr(self, d) -> None:
+        _, rd, rs0, rs1 = d
+        values = self._values
+        shift = values[rs1] & 0x3F
+        if rd:
+            values[rd] = values[rs0] >> shift
+        tracks = self._tracks
+        src, other, dst = tracks[rs0], tracks[rs1], tracks[rd]
+        sfva, ofva = src.fva, other.fva
+        if sfva is not None and ofva is not None:
+            dst.fva = (sfva >> (ofva & 0x3F)) & WORD_MASK
+            dst.sc = 1
+        elif sfva is None and ofva is not None:
+            dst.fva = None
+            dst.sc = self._clamp_sc(src.sc >> (ofva & 0x3F))
+        else:
+            dst.fva = None
+            dst.sc = 1
+        self._retire()
+
+    def _op_sll_ri(self, d) -> None:
+        _, rd, rs0, shift = d
+        values = self._values
+        if rd:
+            values[rd] = (values[rs0] << shift) & WORD_MASK
+        tracks = self._tracks
+        src, dst = tracks[rs0], tracks[rd]
+        sfva = src.fva
+        if sfva is None:
+            dst.fva = None
+            dst.sc = self._clamp_sc(src.sc << shift)
+        else:
+            dst.fva = (sfva << shift) & WORD_MASK
+            dst.sc = 1
+        self._retire()
+
+    def _op_srl_ri(self, d) -> None:
+        _, rd, rs0, shift = d
+        values = self._values
+        if rd:
+            values[rd] = values[rs0] >> shift
+        tracks = self._tracks
+        src, dst = tracks[rs0], tracks[rd]
+        sfva = src.fva
+        if sfva is None:
+            dst.fva = None
+            dst.sc = self._clamp_sc(src.sc >> shift)
+        else:
+            dst.fva = (sfva >> shift) & WORD_MASK
+            dst.sc = 1
+        self._retire()
+
+    # -- ALU: and/or/xor (Table III "Otherwise" rule) -----------------------------------
+
+    def _op_and_rr(self, d) -> None:
+        _, rd, rs0, rs1 = d
+        values = self._values
+        if rd:
+            values[rd] = values[rs0] & values[rs1]
+        dst = self._tracks[rd]
+        dst.fva = None
+        dst.sc = 1
+        self._retire()
+
+    def _op_or_rr(self, d) -> None:
+        _, rd, rs0, rs1 = d
+        values = self._values
+        if rd:
+            values[rd] = values[rs0] | values[rs1]
+        dst = self._tracks[rd]
+        dst.fva = None
+        dst.sc = 1
+        self._retire()
+
+    def _op_xor_rr(self, d) -> None:
+        _, rd, rs0, rs1 = d
+        values = self._values
+        if rd:
+            values[rd] = values[rs0] ^ values[rs1]
+        dst = self._tracks[rd]
+        dst.fva = None
+        dst.sc = 1
+        self._retire()
+
+    def _op_and_ri(self, d) -> None:
+        _, rd, rs0, imm = d
+        if rd:
+            self._values[rd] = self._values[rs0] & imm
+        dst = self._tracks[rd]
+        dst.fva = None
+        dst.sc = 1
+        self._retire()
+
+    def _op_or_ri(self, d) -> None:
+        _, rd, rs0, imm = d
+        if rd:
+            self._values[rd] = self._values[rs0] | imm
+        dst = self._tracks[rd]
+        dst.fva = None
+        dst.sc = 1
+        self._retire()
+
+    def _op_xor_ri(self, d) -> None:
+        _, rd, rs0, imm = d
+        if rd:
+            self._values[rd] = self._values[rs0] ^ imm
+        dst = self._tracks[rd]
+        dst.fva = None
+        dst.sc = 1
+        self._retire()
+
+    # -- control flow -------------------------------------------------------------------
+
+    def _op_jmp(self, d) -> None:
+        self.pc_index = d[1]
+        self.time += self._branch_cost
+        if self._speculating:
+            self.stats.transient_executed += 1
+        else:
+            self.stats.instructions_retired += 1
+
+    def _op_branch(self, d) -> None:
+        _, cond, rs0, rs1, target = d
+        values = self._values
+        a = values[rs0]
+        b = values[rs1]
+        if cond == 0:
+            taken = a == b
+        elif cond == 1:
+            taken = a != b
+        else:
+            if a & SIGN_BIT:
+                a -= _TWO_POW_64
+            if b & SIGN_BIT:
+                b -= _TWO_POW_64
+            taken = a < b if cond == 2 else a >= b
+        index = self.pc_index
+        actual_index = target if taken else index + 1
+        stats = self.stats
+        stats.branches += 1
+
+        if not self._spec_enabled or self._speculating:
             # Non-speculative core, or already inside a transient window:
             # resolve immediately (one outstanding checkpoint only).
             self.pc_index = actual_index
-            self.time += self.config.branch_cost
-            self._count_retire()
+            self.time += self._branch_cost
+            if self._speculating:
+                stats.transient_executed += 1
+            else:
+                stats.instructions_retired += 1
             return
 
-        branch_index = self.pc_index
-        predicted_taken = self._predict_taken(branch_index)
-        self._train_predictor(branch_index, taken)
+        key = index % self._predictor_entries
+        counter = self._predictor.get(key, 1)
+        predicted_taken = counter >= 2
+        self._predictor[key] = (
+            counter + 1 if counter < 3 else 3
+        ) if taken else (counter - 1 if counter > 0 else 0)
         if predicted_taken == taken:
             self.pc_index = actual_index
-            self.time += self.config.branch_cost
-            self._count_retire()
+            self.time += self._branch_cost
+            stats.instructions_retired += 1
             return
 
         # Misprediction: checkpoint and follow the wrong path transiently.
-        self.stats.mispredictions += 1
-        predicted_index = instruction.target if predicted_taken else branch_index + 1
+        stats.mispredictions += 1
         self._checkpoint_regs = self.regs.snapshot()
         self._correct_index = actual_index
-        self._resolve_time = self.time + self.config.resolve_delay
+        self._resolve_time = self.time + self._resolve_delay
         self._speculating = True
         self._spec_count = 0
         self._store_buffer.clear()
-        self.pc_index = predicted_index
-        self.time += self.config.branch_cost
-        self.stats.instructions_retired += 1  # the branch itself retires
+        self.pc_index = target if predicted_taken else index + 1
+        self.time += self._branch_cost
+        stats.instructions_retired += 1  # the branch itself retires
+
+    # -- no-effect / serialising / halt -------------------------------------------------
+
+    def _op_nop(self, d) -> None:
+        self._retire()
+
+    def _op_fence(self, d) -> None:
+        self._serialized = True
+        if self._speculating:
+            # Serialising instruction: a transient path cannot proceed
+            # past a fence; wait for the branch to resolve (then squash).
+            self._stall_to_resolve()
+        else:
+            self._retire()
+
+    def _op_halt(self, d) -> None:
+        if self._speculating:
+            # A transient halt stalls until the branch resolves.
+            self._stall_to_resolve()
+        else:
+            self.halted = True
+            self.time += self._base_cost
+            self.stats.instructions_retired += 1

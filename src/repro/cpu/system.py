@@ -3,10 +3,18 @@
 Cores advance independent local clocks; the scheduler always steps the core
 with the smallest local time, which keeps cross-core cache interactions in
 causal order (a discrete-event style common to multi-core timing models).
+
+Scheduling is specialised by active-core count: a single core runs a tight
+``step()`` loop with no arbitration at all, two cores (every cross-core
+attack) use a direct comparison, and larger systems use a binary heap keyed
+on ``(local_time, core_index)``.  All three orders are identical to the
+seed implementation's per-step ``min(active, key=time)`` scan — ties break
+toward the lower core index — which ``tests/test_golden_parity.py`` pins.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -85,21 +93,100 @@ class System:
         active = [core for core in self.cores if not core.halted]
         steps = 0
         while active:
-            core = min(active, key=lambda candidate: candidate.time)
-            core.step()
-            steps += 1
-            if core.halted:
-                active = [c for c in active if not c.halted]
-            if sample_interval and steps % sample_interval == 0:
-                samples.append((steps, sample_fn(self)))
-            if steps >= max_steps and active:
+            if steps >= max_steps:
                 # Only a run with work left is a runaway; when the final
                 # step halted the last core the budget was exactly enough.
                 raise SimulationError(
                     f"exceeded {max_steps} scheduler steps; "
                     "a program probably fails to halt"
                 )
+            count = len(active)
+            if count == 1:
+                steps = self._run_single(
+                    active[0], steps, max_steps, sample_interval, sample_fn, samples
+                )
+            elif count == 2:
+                steps = self._run_pair(
+                    active[0], active[1], steps, max_steps, sample_interval,
+                    sample_fn, samples,
+                )
+            else:
+                steps = self._run_heap(
+                    active, steps, max_steps, sample_interval, sample_fn, samples
+                )
+            active = [core for core in active if not core.halted]
         return self._result(samples)
+
+    def _overrun(self, max_steps: int) -> SimulationError:
+        return SimulationError(
+            f"exceeded {max_steps} scheduler steps; "
+            "a program probably fails to halt"
+        )
+
+    def _run_single(
+        self, core, steps, max_steps, sample_interval, sample_fn, samples
+    ) -> int:
+        """Tight loop for one active core; returns the updated step count."""
+        step = core.step
+        if not sample_interval:
+            while True:
+                step()
+                steps += 1
+                if core.halted:
+                    return steps
+                if steps >= max_steps:
+                    raise self._overrun(max_steps)
+        while True:
+            step()
+            steps += 1
+            if steps % sample_interval == 0:
+                samples.append((steps, sample_fn(self)))
+            if core.halted:
+                return steps
+            if steps >= max_steps:
+                raise self._overrun(max_steps)
+
+    def _run_pair(
+        self, first, second, steps, max_steps, sample_interval, sample_fn, samples
+    ) -> int:
+        """Two active cores: direct min-time comparison, until one halts.
+
+        ``<=`` keeps the seed scheduler's tie-break (lower core index).
+        """
+        while True:
+            core = first if first.time <= second.time else second
+            core.step()
+            steps += 1
+            if sample_interval and steps % sample_interval == 0:
+                samples.append((steps, sample_fn(self)))
+            if core.halted:
+                return steps
+            if steps >= max_steps:
+                raise self._overrun(max_steps)
+
+    def _run_heap(
+        self, active, steps, max_steps, sample_interval, sample_fn, samples
+    ) -> int:
+        """Three or more active cores: heap keyed on (time, position).
+
+        Stepping a core only ever advances that core's own clock, so
+        re-pushing just the stepped core preserves the full min-scan order.
+        Returns as soon as any core halts; the caller re-dispatches.
+        """
+        heap = [(core.time, position, core) for position, core in enumerate(active)]
+        heapq.heapify(heap)
+        heapreplace = heapq.heapreplace
+        while True:
+            _, position, core = heap[0]
+            core.step()
+            steps += 1
+            if sample_interval and steps % sample_interval == 0:
+                samples.append((steps, sample_fn(self)))
+            if core.halted:
+                return steps
+            if steps >= max_steps:
+                raise self._overrun(max_steps)
+            heapreplace(heap, (core.time, position, core))
 
     def _result(self, samples: list[tuple[int, object]]) -> RunResult:
         hierarchy = self.hierarchy

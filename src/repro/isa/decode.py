@@ -1,0 +1,151 @@
+"""Pre-decoded dispatch tuples for the timing core's hot loop.
+
+:meth:`repro.isa.program.Program.finalize` runs every instruction through
+:func:`decode_program` once; :class:`repro.cpu.core.Core` then executes by
+indexing a handler table with the tuple's leading kind integer instead of
+string-comparing ``Instruction.op`` per step.  Decode does the work that is
+loop-invariant:
+
+* opcode -> small-int kind (one table jump replaces the ``if op == ...``
+  chain, with ALU opcodes split per operation so handlers are straight-line);
+* ``sub rd, rs, imm`` is rewritten to an add of the negated immediate
+  (identical mod 2**64 for both the register value and the Table III fixed
+  value);
+* ALU immediates are pre-masked (add/logic) or pre-reduced to their shift
+  count (sll/srl) where that is equivalence-preserving; ``mul`` keeps the
+  raw immediate because the Scale Tracker's ``sc * imm`` rule is *not*
+  invariant under masking (the clamp takes ``abs`` first);
+* load/store tuples carry the instruction's PC so the core does not
+  recompute ``code_base + 4 * index`` per access.
+
+Tuple layouts by kind::
+
+    K_LOAD      (k, rd, rs0, imm, pc)
+    K_STORE     (k, rs0, rs1, imm, pc)
+    K_LI        (k, rd, imm_masked)
+    K_MOV       (k, rd, rs0)
+    K_ADD_RR    (k, rd, rs0, rs1)        also SUB/MUL/SLL/SRL/AND/OR/XOR _RR
+    K_ADD_RI    (k, rd, rs0, imm_masked) also AND/OR/XOR _RI
+    K_MUL_RI    (k, rd, rs0, imm_raw)
+    K_SLL_RI    (k, rd, rs0, shift)      also SRL_RI (shift = imm & 0x3F)
+    K_BRANCH    (k, cond, rs0, rs1, target)   cond: 0=beq 1=bne 2=blt 3=bge
+    K_JMP       (k, target)
+    K_RDCYCLE   (k, rd)
+    K_CLFLUSH   (k, rs0, imm)
+    K_PREFETCH  (k, rs0, imm, write)
+    K_NOP / K_FENCE / K_HALT   (k,)
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instruction
+from repro.isa.registers import WORD_MASK
+
+K_LOAD = 0
+K_STORE = 1
+K_LI = 2
+K_MOV = 3
+K_ADD_RR = 4
+K_SUB_RR = 5
+K_ADD_RI = 6
+K_MUL_RR = 7
+K_MUL_RI = 8
+K_SLL_RR = 9
+K_SRL_RR = 10
+K_SLL_RI = 11
+K_SRL_RI = 12
+K_AND_RR = 13
+K_OR_RR = 14
+K_XOR_RR = 15
+K_AND_RI = 16
+K_OR_RI = 17
+K_XOR_RI = 18
+K_BRANCH = 19
+K_JMP = 20
+K_RDCYCLE = 21
+K_CLFLUSH = 22
+K_PREFETCH = 23
+K_NOP = 24
+K_FENCE = 25
+K_HALT = 26
+
+NUM_KINDS = 27
+
+_ALU_RR = {
+    "add": K_ADD_RR,
+    "sub": K_SUB_RR,
+    "mul": K_MUL_RR,
+    "sll": K_SLL_RR,
+    "srl": K_SRL_RR,
+    "and": K_AND_RR,
+    "or": K_OR_RR,
+    "xor": K_XOR_RR,
+}
+
+_MASKED_RI = {"add": K_ADD_RI, "and": K_AND_RI, "or": K_OR_RI, "xor": K_XOR_RI}
+
+_BRANCH_COND = {"beq": 0, "bne": 1, "blt": 2, "bge": 3}
+
+
+def decode_instruction(instruction: Instruction, pc: int) -> tuple:
+    """One instruction -> its dispatch tuple (``pc`` = instruction address)."""
+    op = instruction.op
+    if op == "load":
+        return (K_LOAD, instruction.rd, instruction.rs0, instruction.imm, pc)
+    if op == "store":
+        return (K_STORE, instruction.rs0, instruction.rs1, instruction.imm, pc)
+    if op == "li":
+        return (K_LI, instruction.rd, instruction.imm & WORD_MASK)
+    if op == "mov":
+        return (K_MOV, instruction.rd, instruction.rs0)
+    if op in _ALU_RR:
+        rd, rs0 = instruction.rd, instruction.rs0
+        if instruction.rs1 is not None:
+            return (_ALU_RR[op], rd, rs0, instruction.rs1)
+        imm = instruction.imm
+        if op == "add":
+            return (K_ADD_RI, rd, rs0, imm & WORD_MASK)
+        if op == "sub":
+            # a - imm == a + (-imm) mod 2**64, for the value and the fva.
+            return (K_ADD_RI, rd, rs0, (-imm) & WORD_MASK)
+        if op == "mul":
+            return (K_MUL_RI, rd, rs0, imm)
+        if op == "sll":
+            return (K_SLL_RI, rd, rs0, imm & 0x3F)
+        if op == "srl":
+            return (K_SRL_RI, rd, rs0, imm & 0x3F)
+        return (_MASKED_RI[op], rd, rs0, imm & WORD_MASK)
+    if op in _BRANCH_COND:
+        return (
+            K_BRANCH,
+            _BRANCH_COND[op],
+            instruction.rs0,
+            instruction.rs1,
+            instruction.target,
+        )
+    if op == "jmp":
+        return (K_JMP, instruction.target)
+    if op == "rdcycle":
+        return (K_RDCYCLE, instruction.rd)
+    if op == "clflush":
+        return (K_CLFLUSH, instruction.rs0, instruction.imm)
+    if op in ("prefetch", "prefetchw"):
+        return (K_PREFETCH, instruction.rs0, instruction.imm, op == "prefetchw")
+    if op == "nop":
+        return (K_NOP,)
+    if op == "fence":
+        return (K_FENCE,)
+    if op == "halt":
+        return (K_HALT,)
+    raise AssemblyError(f"cannot decode opcode {op!r}")  # pragma: no cover
+
+
+def decode_program(
+    instructions: list[Instruction], code_base: int, instruction_size: int
+) -> tuple[tuple, ...]:
+    """Decode a finalized instruction list into dispatch tuples."""
+    return tuple(
+        decode_instruction(instruction, code_base + instruction_size * index)
+        for index, instruction in enumerate(instructions)
+    )

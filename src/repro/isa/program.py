@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import AssemblyError
+from repro.isa.decode import decode_program
 from repro.isa.instructions import BRANCH_OPS, Instruction
 
 DEFAULT_CODE_BASE = 0x0040_0000
@@ -41,6 +42,9 @@ class Program:
     name: str = "program"
     code_base: int = DEFAULT_CODE_BASE
     _finalized: bool = field(default=False, repr=False)
+    #: Dispatch tuples built by :meth:`finalize` (see repro.isa.decode); the
+    #: timing core executes these instead of re-inspecting ``op`` strings.
+    decoded: tuple = field(default=(), repr=False, compare=False)
 
     def pc_of_index(self, index: int) -> int:
         """Instruction address for instruction ``index``."""
@@ -67,9 +71,12 @@ class Program:
         self.data_segments.append(segment)
 
     def finalize(self) -> "Program":
-        """Resolve branch targets from label names to instruction indices.
+        """Resolve branch targets and pre-decode into dispatch tuples.
 
-        Returns self, for chaining.  Idempotent.
+        Branch targets go from label names to instruction indices; then the
+        whole instruction list is decoded once (:mod:`repro.isa.decode`)
+        into the tuples the timing core dispatches through.  Returns self,
+        for chaining.  Idempotent.
         """
         if self._finalized:
             return self
@@ -86,6 +93,9 @@ class Program:
                     raise AssemblyError(
                         f"branch at instruction {position} has no target"
                     )
+        self.decoded = decode_program(
+            self.instructions, self.code_base, INSTRUCTION_SIZE
+        )
         self._finalized = True
         return self
 

@@ -9,11 +9,16 @@ latency classes the attacks in the paper distinguish:
 * L1 hit:   4 cycles
 * L2 hit:   16 cycles (4 + 12)
 * memory:   136 cycles (4 + 12 + 120)
+
+Lookup is O(1): each set keeps a ``{block_addr: way}`` tag index alongside
+the way array, so the demand path never scans ways linearly (the seed code
+walked all ``assoc`` ways per access — 16 for the L2).  The index holds
+exactly the valid lines; every fill/invalidate keeps it in sync.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ConfigError
@@ -23,7 +28,7 @@ from repro.mem.memory import MainMemory
 from repro.utils.addr import AddressMap
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Per-cache counters; Fig. 10 consumes ``miss_latency_total``."""
 
@@ -71,6 +76,12 @@ class MemoryPort:
         """Writebacks reaching memory need no bookkeeping."""
 
 
+# Placeholder stamp row for sets whose way arrays are not materialised yet;
+# never written (LRU stamps are only touched after a set's first fill swaps
+# in a real row).
+_EMPTY_STAMPS: list[int] = []
+
+
 class Cache:
     """One level of set-associative cache."""
 
@@ -103,9 +114,18 @@ class Cache:
         self.num_sets = size // (assoc * block)
         if self.num_sets & (self.num_sets - 1):
             raise ConfigError(f"{name}: num_sets {self.num_sets} not a power of two")
-        self._sets = [[CacheLine() for _ in range(assoc)] for _ in range(self.num_sets)]
-        self._stamps = [[0] * assoc for _ in range(self.num_sets)]
+        # Way arrays materialise lazily on a set's first miss: a 2MB L2 has
+        # 32K lines, and eagerly allocating them dominated short runs.
+        self._sets: list[list[CacheLine] | None] = [None] * self.num_sets
+        self._stamps: list[list[int]] = [_EMPTY_STAMPS] * self.num_sets
+        # Per-set {block_addr: way} index over the valid lines.
+        self._tags: list[dict[int, int]] = [{} for _ in range(self.num_sets)]
         self._clock = 0
+        # Hoisted address arithmetic (amap.block_addr/set_index per access
+        # cost a call plus a power-of-two re-check each).
+        self._block_mask = ~(block - 1)
+        self._block_bits = block.bit_length() - 1
+        self._set_mask = self.num_sets - 1
         self.mshr = MSHRFile(num_entries=mshr_entries, max_merges=mshr_max_merges)
         self.stats = CacheStats()
         # Set by the hierarchy on the shared L2 to back-invalidate L1 copies.
@@ -113,54 +133,60 @@ class Cache:
 
     # -- lookup helpers ------------------------------------------------------
 
-    def _set_index(self, block_addr: int) -> int:
-        return self.amap.set_index(block_addr, self.num_sets)
-
-    def _find(self, block_addr: int) -> tuple[int, int | None]:
-        set_index = self._set_index(block_addr)
-        for way, line in enumerate(self._sets[set_index]):
-            if line.valid and line.block_addr == block_addr:
-                return set_index, way
-        return set_index, None
-
     def _touch(self, set_index: int, way: int) -> None:
         self._clock += 1
         self._stamps[set_index][way] = self._clock
 
     def contains(self, block_addr: int) -> bool:
         """True when the line is present (including in-flight fills)."""
-        return self._find(self.amap.block_addr(block_addr))[1] is not None
+        block_addr &= self._block_mask
+        set_index = (block_addr >> self._block_bits) & self._set_mask
+        return block_addr in self._tags[set_index]
 
     def contains_ready(self, block_addr: int, now: int) -> bool:
         """True when the line is present and its data has arrived."""
-        set_index, way = self._find(self.amap.block_addr(block_addr))
-        return way is not None and self._sets[set_index][way].ready(now)
+        line = self.line_for(block_addr)
+        return line is not None and line.ready(now)
 
     def line_for(self, block_addr: int) -> CacheLine | None:
         """The line holding ``block_addr`` or None (tests/analysis)."""
-        set_index, way = self._find(self.amap.block_addr(block_addr))
+        block_addr &= self._block_mask
+        set_index = (block_addr >> self._block_bits) & self._set_mask
+        way = self._tags[set_index].get(block_addr)
         return None if way is None else self._sets[set_index][way]
 
     # -- replacement ---------------------------------------------------------
 
     def _victim_way(self, set_index: int) -> int:
         ways = self._sets[set_index]
-        for way, line in enumerate(ways):
-            if not line.valid:
-                return way
+        if ways is None:
+            self._sets[set_index] = [CacheLine() for _ in range(self.assoc)]
+            self._stamps[set_index] = [0] * self.assoc
+            return 0
+        if len(self._tags[set_index]) < self.assoc:
+            for way, line in enumerate(ways):
+                if not line.valid:
+                    return way
         stamps = self._stamps[set_index]
-        return min(range(self.assoc), key=lambda way: stamps[way])
+        return stamps.index(min(stamps))
 
     def _evict(self, set_index: int, way: int, now: int) -> None:
         line = self._sets[set_index][way]
         if not line.valid:
             return
         self.stats.evictions += 1
+        block_addr = line.block_addr
+        # Back-invalidate child copies first: a dirty child line writes back
+        # into this line (mark_dirty), so the dirty check below sees it and
+        # the modified data propagates instead of dying with the eviction.
+        if self.on_evict is not None:
+            self.on_evict(block_addr, now)
         if line.dirty:
             self.stats.writebacks += 1
-            self.parent.mark_dirty(line.block_addr)
-        if self.on_evict is not None:
-            self.on_evict(line.block_addr, now)
+            self.parent.mark_dirty(block_addr)
+        tags = self._tags[set_index]
+        if tags.get(block_addr) == way:
+            del tags[block_addr]
         line.invalidate()
 
     def _insert(
@@ -171,21 +197,22 @@ class Cache:
         prefetched: bool,
         component: str | None,
     ) -> CacheLine:
-        set_index = self._set_index(block_addr)
+        set_index = (block_addr >> self._block_bits) & self._set_mask
         way = self._victim_way(set_index)
         self._evict(set_index, way, now)
         line = self._sets[set_index][way]
         line.fill(
             block_addr, ready_time, prefetched=prefetched, component=component
         )
+        self._tags[set_index][block_addr] = way
         self._touch(set_index, way)
         return line
 
     def mark_dirty(self, block_addr: int) -> None:
         """Receive a writeback from a child (inclusive hierarchy)."""
-        set_index, way = self._find(self.amap.block_addr(block_addr))
-        if way is not None:
-            self._sets[set_index][way].dirty = True
+        line = self.line_for(block_addr)
+        if line is not None:
+            line.dirty = True
         # A missing line (back-invalidated earlier) silently reaches memory.
 
     # -- demand path ---------------------------------------------------------
@@ -198,39 +225,44 @@ class Cache:
         ``demand=False`` is the prefetch-fill path used by child caches: the
         state transitions are identical but the counters differ.
         """
-        block_addr = self.amap.block_addr(addr)
-        set_index, way = self._find(block_addr)
+        block_addr = addr & self._block_mask
+        set_index = (block_addr >> self._block_bits) & self._set_mask
+        stats = self.stats
         if demand:
-            self.stats.demand_accesses += 1
+            stats.demand_accesses += 1
 
+        way = self._tags[set_index].get(block_addr)
         if way is not None:
             line = self._sets[set_index][way]
-            self._touch(set_index, way)
+            self._clock += 1
+            self._stamps[set_index][way] = self._clock
             if write:
                 line.dirty = True
-            if line.ready(now):
+            if line.ready_time <= now:
                 if demand:
-                    self.stats.hits += 1
+                    stats.hits += 1
                     if line.prefetched and not line.useful_counted:
-                        self.stats.useful_prefetches += 1
+                        stats.useful_prefetches += 1
                         line.useful_counted = True
                 return self.hit_latency, self.level_name
             # In-flight fill: merge with it and pay the residual latency.
-            latency = max(self.hit_latency, line.ready_time - now)
+            latency = line.ready_time - now
+            if latency < self.hit_latency:
+                latency = self.hit_latency
             if demand:
-                self.stats.inflight_hits += 1
-                self.stats.miss_latency_total += latency - self.hit_latency
+                stats.inflight_hits += 1
+                stats.miss_latency_total += latency - self.hit_latency
             return latency, "INFLIGHT"
 
         if demand:
-            self.stats.misses += 1
+            stats.misses += 1
 
         merged_ready = self.mshr.merge(block_addr, now)
         if merged_ready is not None:
             latency = max(self.hit_latency, merged_ready - now)
             if demand:
-                self.stats.mshr_merge_hits += 1
-                self.stats.miss_latency_total += latency - self.hit_latency
+                stats.mshr_merge_hits += 1
+                stats.miss_latency_total += latency - self.hit_latency
             return latency, "MSHR"
 
         below_latency, below_level = self.parent.access(
@@ -257,7 +289,7 @@ class Cache:
         if write:
             line.dirty = True
         if demand:
-            self.stats.miss_latency_total += total_latency - self.hit_latency
+            stats.miss_latency_total += total_latency - self.hit_latency
         return total_latency, below_level
 
     # -- prefetch path -------------------------------------------------------
@@ -268,8 +300,9 @@ class Cache:
         Returns the fill's ready time, or ``None`` when suppressed (already
         present) or dropped (no MSHR free).
         """
-        block_addr = self.amap.block_addr(addr)
-        if self.contains(block_addr):
+        block_addr = addr & self._block_mask
+        set_index = (block_addr >> self._block_bits) & self._set_mask
+        if block_addr in self._tags[set_index]:
             return None
         if not self.mshr.prefetch_available(now):
             self.mshr.prefetch_drops += 1
@@ -292,18 +325,30 @@ class Cache:
     # -- invalidation --------------------------------------------------------
 
     def invalidate_block(self, block_addr: int) -> bool:
-        """Drop the line if present; returns True when a valid copy existed."""
-        block_addr = self.amap.block_addr(block_addr)
-        set_index, way = self._find(block_addr)
+        """Drop the line if present; returns True when a valid copy existed.
+
+        A dirty copy is written back to the parent first (like ``_evict``
+        and ``flush_block``): cross-core store invalidations, prefetchw
+        ownership steals and inclusive back-invalidations must not discard
+        modified data.
+        """
+        block_addr &= self._block_mask
+        set_index = (block_addr >> self._block_bits) & self._set_mask
+        way = self._tags[set_index].pop(block_addr, None)
         if way is None:
             return False
-        self._sets[set_index][way].invalidate()
+        line = self._sets[set_index][way]
+        if line.dirty:
+            self.stats.writebacks += 1
+            self.parent.mark_dirty(line.block_addr)
+        line.invalidate()
         return True
 
     def flush_block(self, block_addr: int) -> bool:
         """clflush semantics: write back if dirty, then invalidate."""
-        block_addr = self.amap.block_addr(block_addr)
-        set_index, way = self._find(block_addr)
+        block_addr &= self._block_mask
+        set_index = (block_addr >> self._block_bits) & self._set_mask
+        way = self._tags[set_index].pop(block_addr, None)
         if way is None:
             return False
         line = self._sets[set_index][way]
@@ -319,6 +364,7 @@ class Cache:
         return [
             line.block_addr
             for ways in self._sets
+            if ways is not None
             for line in ways
             if line.valid
         ]

@@ -33,7 +33,12 @@ from dataclasses import dataclass, field
 
 from repro.mem.cache import Cache, MemoryPort
 from repro.mem.memory import MainMemory
-from repro.prefetch.base import Observation, Prefetcher, PrefetchRequest
+from repro.prefetch.base import (
+    NullPrefetcher,
+    Observation,
+    Prefetcher,
+    PrefetchRequest,
+)
 from repro.utils.addr import AddressMap
 
 
@@ -58,9 +63,13 @@ class HierarchyConfig:
     prefetchw_snoop_latency: int = 20
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class AccessOutcome:
-    """Result of one demand access."""
+    """Result of one demand access.
+
+    A slotted (non-frozen) dataclass: one is built per load/software
+    prefetch, so construction cost is hot-path relevant.
+    """
 
     value: int
     latency: int
@@ -115,16 +124,25 @@ class MemoryHierarchy:
             for core_id in range(num_cores)
         ]
         self._prefetchers: dict[int, Prefetcher] = {}
+        # Per-core notify target, None when no prefetcher would react: the
+        # demand path skips Observation construction entirely for those
+        # cores (a NullPrefetcher counts as "not attached").
+        self._active: list[Prefetcher | None] = [None] * num_cores
         self._logs = [_PrefetchLog() for _ in range(num_cores)]
         # block address -> core id holding the line exclusively (prefetchw).
         self._exclusive: dict[int, int] = {}
         self.ownership_steals = 0
+        # Hot-path mask: ``addr & _block_mask == amap.block_addr(addr)``.
+        self._block_mask = ~(self.amap.block_size - 1)
 
     # -- prefetcher plumbing -------------------------------------------------
 
     def attach_prefetcher(self, core_id: int, prefetcher: Prefetcher) -> None:
         """Install ``prefetcher`` on core ``core_id``'s L1D."""
         self._prefetchers[core_id] = prefetcher
+        self._active[core_id] = (
+            None if isinstance(prefetcher, NullPrefetcher) else prefetcher
+        )
 
     def prefetcher_for(self, core_id: int) -> Prefetcher | None:
         return self._prefetchers.get(core_id)
@@ -167,15 +185,6 @@ class MemoryHierarchy:
                 )
         return issued
 
-    def _notify(self, core_id: int, observation: Observation) -> None:
-        prefetcher = self._prefetchers.get(core_id)
-        if prefetcher is None:
-            return
-        l1d = self.l1ds[core_id]
-        requests = prefetcher.observe(observation, l1d.contains)
-        if requests:
-            self._issue_requests(core_id, observation.now, requests)
-
     # -- demand interface ----------------------------------------------------
 
     def load(
@@ -187,23 +196,33 @@ class MemoryHierarchy:
         scale: int = 1,
         speculative: bool = False,
     ) -> AccessOutcome:
-        """Demand load: returns value + latency + fill source."""
+        """Demand load: returns value + latency + fill source.
+
+        Observation objects are only built when the core has a prefetcher
+        that would react to them; baseline (no-prefetcher) runs skip that
+        construction entirely.
+        """
         l1d = self.l1ds[core_id]
-        self._yield_exclusivity(core_id, self.amap.block_addr(addr))
+        if self._exclusive:
+            self._yield_exclusivity(core_id, addr & self._block_mask)
         latency, level = l1d.access(addr, now, write=False)
         value = self.memory.read(addr)
-        observation = Observation(
-            op="load",
-            core_id=core_id,
-            pc=pc,
-            addr=addr,
-            block_addr=self.amap.block_addr(addr),
-            hit=(level == l1d.level_name),
-            now=now,
-            scale=scale,
-            speculative=speculative,
-        )
-        self._notify(core_id, observation)
+        prefetcher = self._active[core_id]
+        if prefetcher is not None:
+            observation = Observation(
+                op="load",
+                core_id=core_id,
+                pc=pc,
+                addr=addr,
+                block_addr=addr & self._block_mask,
+                hit=(level == l1d.level_name),
+                now=now,
+                scale=scale,
+                speculative=speculative,
+            )
+            requests = prefetcher.observe(observation, l1d.contains)
+            if requests:
+                self._issue_requests(core_id, now, requests)
         return AccessOutcome(value=value, latency=latency, level=level)
 
     def store(
@@ -222,37 +241,47 @@ class MemoryHierarchy:
         invalidated (write-invalidate coherence).
         """
         l1d = self.l1ds[core_id]
-        block_addr = self.amap.block_addr(addr)
-        self._yield_exclusivity(core_id, block_addr)
+        block_addr = addr & self._block_mask
+        if self._exclusive:
+            self._yield_exclusivity(core_id, block_addr)
         latency, level = l1d.access(addr, now, write=True)
         self.memory.write(addr, value)
-        for other_id, other in enumerate(self.l1ds):
-            if other_id != core_id and other.invalidate_block(block_addr):
-                other.stats.cross_invalidations += 1
-        observation = Observation(
-            op="store",
-            core_id=core_id,
-            pc=pc,
-            addr=addr,
-            block_addr=block_addr,
-            hit=(level == l1d.level_name),
-            now=now,
-            scale=1,
-            speculative=speculative,
-        )
-        self._notify(core_id, observation)
+        if self.num_cores > 1:
+            for other_id, other in enumerate(self.l1ds):
+                if other_id != core_id and other.invalidate_block(block_addr):
+                    other.stats.cross_invalidations += 1
+        prefetcher = self._active[core_id]
+        if prefetcher is not None:
+            observation = Observation(
+                op="store",
+                core_id=core_id,
+                pc=pc,
+                addr=addr,
+                block_addr=block_addr,
+                hit=(level == l1d.level_name),
+                now=now,
+                scale=1,
+                speculative=speculative,
+            )
+            requests = prefetcher.observe(observation, l1d.contains)
+            if requests:
+                self._issue_requests(core_id, now, requests)
         if self.config.nonblocking_stores:
             return 1
         return latency
 
     def flush(self, core_id: int, addr: int, now: int) -> int:
-        """clflush: evict the line from every cache level, everywhere."""
+        """clflush: evict the line from every cache level, everywhere.
+
+        ``CacheStats.flushes`` counts lines flushed from each cache
+        (``Cache.flush_block`` increments it when a copy existed there); the
+        per-instruction count is ``CoreStats.flushes``, kept by the core.
+        """
         block_addr = self.amap.block_addr(addr)
         self._exclusive.pop(block_addr, None)
         for l1d in self.l1ds:
             l1d.flush_block(block_addr)
         self.l2.flush_block(block_addr)
-        self.l1ds[core_id].stats.flushes += 1
         return self.config.flush_latency
 
     # -- software prefetch (prefetch / prefetchw) ------------------------------
@@ -278,7 +307,7 @@ class MemoryHierarchy:
         after the tag lookup with no fill and no ownership change.
         """
         l1d = self.l1ds[core_id]
-        block_addr = self.amap.block_addr(addr)
+        block_addr = addr & self._block_mask
         if not l1d.contains(block_addr) and not l1d.mshr.prefetch_available(now):
             l1d.mshr.prefetch_drops += 1
             l1d.stats.prefetch_dropped += 1

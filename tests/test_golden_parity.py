@@ -1,0 +1,159 @@
+"""Golden timing-parity guard for the simulator hot path.
+
+Records cycles, IPC and *every* cache/core counter for a small workload ×
+prefetcher grid plus three attack scenarios (dual-core Flush+Reload,
+speculative Spectre, adversarial-prefetch A2), and compares each run
+against ``tests/golden/timing_parity.json``.  Any hot-path change that
+shifts a single cycle or counter anywhere in the grid fails here.
+
+The golden file was recorded *after* the PR 4 stats bugfixes (flush
+double-count, dirty-line invalidation writebacks, forwarded-load counts)
+and *before* the decode/dispatch + tag-index + scheduler overhaul, so it
+is the oracle that refactor is measured against.
+
+Regenerate (only when an *intentional* semantic change lands)::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_parity.py
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.runner.job import ATTACK_KINDS
+from repro.sim.config import PrefetcherSpec, SystemConfig
+from repro.sim.simulator import build_system
+from repro.experiments.common import PERF_CORE, security_spec
+from repro.workloads import get_workload
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "timing_parity.json"
+
+WORKLOADS = ("462.libquantum", "429.mcf", "473.astar", "999.specrand")
+KINDS = (
+    "none",
+    "tagged",
+    "stride",
+    "prefender",
+    "prefender+stride",
+    "bitp",
+    "disruptive",
+)
+SCALE = 0.1
+
+
+def _core_stats(core) -> dict:
+    return {name: getattr(core.stats, name) for name in vars(core.stats)}
+
+
+def _system_digest(system, result) -> dict:
+    """Every timing observable of one finished run, JSON-ably."""
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "ipc": result.ipc,
+        "core_cycles": result.core_cycles,
+        "core_instructions": result.core_instructions,
+        "core_stats": [_core_stats(core) for core in system.cores],
+        "l1d_stats": [l1d.stats.as_dict() for l1d in system.hierarchy.l1ds],
+        "l2_stats": system.hierarchy.l2.stats.as_dict(),
+        "prefetch_counts": [
+            system.hierarchy.prefetch_counts(core_id)
+            for core_id in range(system.hierarchy.num_cores)
+        ],
+        "ownership_steals": system.hierarchy.ownership_steals,
+    }
+
+
+def _workload_cell(workload: str, kind: str) -> dict:
+    program = get_workload(workload).program(SCALE)
+    config = SystemConfig(core=PERF_CORE, prefetcher=PrefetcherSpec(kind=kind))
+    system = build_system([program], config)
+    result = system.run()
+    return _system_digest(system, result)
+
+
+def _attack_cell(attack: str, defense: str, **overrides) -> dict:
+    outcome = ATTACK_KINDS[attack](**overrides).run(
+        SystemConfig(prefetcher=security_spec(defense))
+    )
+    digest = {
+        "cycles": outcome.run_result.cycles,
+        "instructions": outcome.run_result.instructions,
+        "core_cycles": outcome.run_result.core_cycles,
+        "l1d_stats": outcome.run_result.l1d_stats,
+        "l2_stats": outcome.run_result.l2_stats,
+        "latencies": outcome.latencies,
+        "candidates": outcome.candidates,
+    }
+    return digest
+
+
+ATTACK_CELLS = {
+    "flush-reload/cross-core/Base": dict(
+        attack="flush-reload", defense="Base", cross_core=True
+    ),
+    "flush-reload/cross-core/FULL": dict(
+        attack="flush-reload", defense="FULL", cross_core=True
+    ),
+    "flush-reload/spectre/Base": dict(
+        attack="flush-reload", defense="Base", victim_mode="spectre"
+    ),
+    "flush-reload/spectre/ST+AT": dict(
+        attack="flush-reload", defense="ST+AT", victim_mode="spectre"
+    ),
+    "adversarial-prefetch-a2/Base": dict(
+        attack="adversarial-prefetch-a2", defense="Base"
+    ),
+}
+
+
+def _record_grid() -> dict:
+    grid: dict = {"scale": SCALE, "workloads": {}, "attacks": {}}
+    for workload in WORKLOADS:
+        for kind in KINDS:
+            grid["workloads"][f"{workload}/{kind}"] = _workload_cell(
+                workload, kind
+            )
+    for name, cell in ATTACK_CELLS.items():
+        grid["attacks"][name] = _attack_cell(**cell)
+    return grid
+
+
+def _regen_requested() -> bool:
+    return os.environ.get("REPRO_REGEN_GOLDEN", "") not in ("", "0")
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if _regen_requested():
+        grid = _record_grid()
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(grid, indent=1, sort_keys=True) + "\n")
+    assert GOLDEN_PATH.exists(), (
+        "golden file missing; record it with REPRO_REGEN_GOLDEN=1"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("kind", KINDS)
+def test_workload_timing_parity(golden, workload, kind):
+    key = f"{workload}/{kind}"
+    observed = json.loads(json.dumps(_workload_cell(workload, kind)))
+    assert observed == golden["workloads"][key]
+
+
+@pytest.mark.parametrize("name", sorted(ATTACK_CELLS))
+def test_attack_timing_parity(golden, name):
+    observed = json.loads(json.dumps(_attack_cell(**ATTACK_CELLS[name])))
+    assert observed == golden["attacks"][name]
+
+
+def test_golden_grid_is_complete(golden):
+    assert golden["scale"] == SCALE
+    assert set(golden["workloads"]) == {
+        f"{w}/{k}" for w in WORKLOADS for k in KINDS
+    }
+    assert set(golden["attacks"]) == set(ATTACK_CELLS)

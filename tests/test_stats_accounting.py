@@ -1,0 +1,154 @@
+"""Regression tests for the stats-accounting bugs fixed in PR 4.
+
+Three bugs made the counters unusable as a parity oracle:
+
+* ``MemoryHierarchy.flush`` bumped the issuing core's L1 ``stats.flushes``
+  on top of ``Cache.flush_block``'s own increment, double-counting a flush
+  of a self-resident line.  Semantics now: ``CacheStats.flushes`` counts
+  lines flushed from *this* cache; the per-instruction count lives in
+  ``CoreStats.flushes``.
+* ``Cache.invalidate_block`` silently discarded dirty lines: cross-core
+  store invalidations, prefetchw ownership steals and inclusive
+  back-invalidations all dropped modified data with no writeback and no
+  ``stats.writebacks``.
+* Store-to-load-forwarded (transient) loads skipped ``CoreStats.loads``
+  and ``load_latency_total``, so transient load counts depended on whether
+  the value happened to come from the store buffer.
+"""
+
+from repro.cpu.core import Core, CoreConfig
+from repro.isa.assembler import assemble
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+# --- clflush accounting -------------------------------------------------------
+
+
+def test_flush_of_self_resident_line_counts_once():
+    hierarchy = MemoryHierarchy(num_cores=2)
+    hierarchy.load(0, 0x4000, now=0)
+    hierarchy.flush(0, 0x4000, now=100)
+    # One line left this L1 and one left the L2: one count in each.
+    assert hierarchy.l1ds[0].stats.flushes == 1
+    assert hierarchy.l2.stats.flushes == 1
+    assert hierarchy.l1ds[1].stats.flushes == 0
+
+
+def test_flush_of_absent_line_counts_nowhere():
+    hierarchy = MemoryHierarchy(num_cores=2)
+    hierarchy.flush(0, 0x8000, now=0)
+    assert hierarchy.l1ds[0].stats.flushes == 0
+    assert hierarchy.l2.stats.flushes == 0
+
+
+def test_flush_counts_follow_residency_not_the_issuing_core():
+    hierarchy = MemoryHierarchy(num_cores=2)
+    hierarchy.load(1, 0x5000, now=0)  # resident in L1D1 (and L2) only
+    hierarchy.flush(0, 0x5000, now=100)  # issued by core 0
+    assert hierarchy.l1ds[0].stats.flushes == 0
+    assert hierarchy.l1ds[1].stats.flushes == 1
+    assert hierarchy.l2.stats.flushes == 1
+
+
+def test_clflush_instruction_count_stays_in_core_stats():
+    program = assemble(
+        """
+        li r10, 0x4000
+        load r11, 0(r10)
+        clflush 0(r10)
+        halt
+        """
+    )
+    hierarchy = MemoryHierarchy(num_cores=1)
+    hierarchy.memory.load_program_data(program)
+    core = Core(0, program, hierarchy, CoreConfig())
+    while not core.halted:
+        core.step()
+    assert core.stats.flushes == 1
+    assert hierarchy.l1ds[0].stats.flushes == 1
+
+
+# --- dirty-line invalidation --------------------------------------------------
+
+
+def test_cross_invalidation_writes_back_dirty_line():
+    hierarchy = MemoryHierarchy(num_cores=2)
+    hierarchy.store(0, 0x2000, 5, now=0)
+    assert hierarchy.l1ds[0].line_for(0x2000).dirty
+    # Core 1's store steals the line; core 0's modified copy must be
+    # written back into the shared L2, not dropped.
+    hierarchy.store(1, 0x2000, 6, now=100)
+    assert hierarchy.l1ds[0].stats.writebacks == 1
+    assert hierarchy.l1ds[0].stats.cross_invalidations == 1
+    assert hierarchy.l2.line_for(0x2000).dirty
+
+
+def test_prefetchw_ownership_steal_writes_back_dirty_line():
+    hierarchy = MemoryHierarchy(num_cores=2)
+    hierarchy.store(1, 0x3000, 9, now=0)
+    assert hierarchy.l1ds[1].line_for(0x3000).dirty
+    hierarchy.software_prefetch(0, 0x3000, now=100, write=True)
+    assert hierarchy.l1ds[1].stats.writebacks == 1
+    assert hierarchy.l2.line_for(0x3000).dirty
+
+
+def test_back_invalidated_dirty_line_reaches_memory_as_writeback():
+    hierarchy = MemoryHierarchy(
+        num_cores=1,
+        config=HierarchyConfig(l2_size=64 * 1024, l2_assoc=1),
+    )
+    span = hierarchy.l2.num_sets * 64
+    hierarchy.store(0, 0x0, 7, now=0)  # dirty in L1D0, clean in L2
+    hierarchy.load(0, span, now=1000)  # same L2 set, assoc 1 -> back-invalidate
+    assert hierarchy.l1ds[0].stats.back_invalidations == 1
+    # The L1 writeback lands in the L2 line *before* the L2 eviction
+    # decides whether to write back, so the dirty data reaches memory.
+    assert hierarchy.l1ds[0].stats.writebacks == 1
+    assert hierarchy.l2.stats.writebacks == 1
+
+
+def test_clean_cross_invalidation_writes_nothing_back():
+    hierarchy = MemoryHierarchy(num_cores=2)
+    hierarchy.load(0, 0x6000, now=0)  # clean copy
+    hierarchy.store(1, 0x6000, 3, now=100)
+    assert hierarchy.l1ds[0].stats.cross_invalidations == 1
+    assert hierarchy.l1ds[0].stats.writebacks == 0
+
+
+# --- store-to-load forwarding -------------------------------------------------
+
+
+def test_forwarded_transient_load_counts_as_load():
+    # beq zero, zero is always taken; a fresh predictor guesses not-taken,
+    # so the fall-through (store + load of the same address) runs
+    # transiently and the load forwards from the speculative store buffer.
+    program = assemble(
+        """
+        li r20, 0x40000
+        li r25, 7
+        beq zero, zero, target
+        store r25, 0(r20)
+        load r21, 0(r20)
+        fence
+        target:
+        halt
+        """
+    )
+    hierarchy = MemoryHierarchy(num_cores=1)
+    hierarchy.memory.load_program_data(program)
+    config = CoreConfig(
+        speculative_execution=True, resolve_delay=300, spec_window=12
+    )
+    core = Core(0, program, hierarchy, config)
+    steps = 0
+    while not core.halted:
+        core.step()
+        steps += 1
+        assert steps < 10_000
+    assert core.stats.squashes == 1
+    # The forwarded load is still a load: it must count, with the
+    # forwarding latency (one base-cost cycle), like any other load.
+    assert core.stats.loads == 1
+    assert core.stats.load_latency_total == config.base_cost
+    # Forwarding means the cache was never touched.
+    assert not hierarchy.l1_contains(0, 0x40000)
