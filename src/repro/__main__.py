@@ -4,6 +4,9 @@ Commands:
 
 * ``attack``   — run an attack × defense grid and print one verdict line
   per cell; ``--name adversarial-prefetch`` expands to the A1/A2 variants
+* ``scenarios`` — crypto-victim leakage suite: every attack × victim ×
+  defense cell runs over a set of trial secrets and is scored by attacker
+  success rate and a mutual-information estimate (bits of secret leaked)
 * ``figure8``  — regenerate the security matrix (one attack/challenge)
 * ``table``    — regenerate a performance table (4, 5 or 6)
 * ``sweep``    — improvements for an arbitrary workload × prefetcher grid
@@ -49,10 +52,16 @@ import argparse
 import math
 import sys
 
+from repro.attacks import scenarios
 from repro.attacks.base import verdict_line
 from repro.errors import ConfigError
 from repro.experiments import figure8, frontier, related, table4, table5, table6
-from repro.experiments.common import improvement_rows, security_spec, table_spec
+from repro.experiments.common import (
+    DEFENSES,
+    improvement_rows,
+    security_spec,
+    table_spec,
+)
 from repro.hwcost import estimate, render_report
 from repro.runner import (
     ADVERSARIAL_PREFETCH_FAMILY,
@@ -68,8 +77,6 @@ from repro.runner import (
 from repro.sim.config import PREFETCHER_KINDS, PrefetcherSpec, SystemConfig
 from repro.utils.tables import render_table
 from repro.workloads import SPEC2006_NAMES, SPEC2017_NAMES, workload_names
-
-DEFENSES = ("Base", "ST", "AT", "ST+AT", "AT+RP", "FULL")
 
 
 def _scale_arg(text: str) -> float:
@@ -202,8 +209,24 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    def _split(text: str) -> tuple[str, ...]:
+        return tuple(part.strip() for part in text.split(",") if part.strip())
+
+    result = scenarios.run(
+        victims=_split(args.victims),
+        attacks=_split(args.attacks),
+        defenses=_split(args.defenses),
+        secrets=args.secrets,
+        jobs=args.jobs,
+        store=_store_for(args),
+    )
+    print(scenarios.render(result))
+    return 0
+
+
 def _cmd_figure8(args: argparse.Namespace) -> int:
-    panels = figure8.run()
+    panels = figure8.run(jobs=args.jobs, store=_store_for(args))
     print(figure8.render(panels))
     return 0
 
@@ -354,7 +377,41 @@ def main(argv: list[str] | None = None) -> int:
     _add_store_flags(attack)
     attack.set_defaults(handler=_cmd_attack)
 
+    scenarios_cmd = commands.add_parser(
+        "scenarios",
+        help="crypto-victim leakage suite (success rate + mutual information)",
+    )
+    scenarios_cmd.add_argument(
+        "--victims", default=",".join(scenarios.DEFAULT_VICTIMS),
+        help="comma-separated victim names from the crypto registry "
+        "(aes-ttable, rsa-sqmul, ecdsa-window, direct)",
+    )
+    scenarios_cmd.add_argument(
+        "--attacks", default=",".join(scenarios.DEFAULT_ATTACKS),
+        help=f"comma-separated attack kinds from {sorted(ATTACK_KINDS)}",
+    )
+    scenarios_cmd.add_argument(
+        "--defenses", default=",".join(scenarios.DEFAULT_DEFENSES),
+        help=f"comma-separated defenses from {DEFENSES}",
+    )
+    scenarios_cmd.add_argument(
+        "--secrets", type=int, default=scenarios.DEFAULT_SECRETS,
+        help="trial secrets per cell, evenly spaced over the victim's "
+        "secret space",
+    )
+    scenarios_cmd.add_argument(
+        "--jobs", type=_jobs_arg, default=1,
+        help="parallel simulation processes (0 = all cores)",
+    )
+    _add_store_flags(scenarios_cmd)
+    scenarios_cmd.set_defaults(handler=_cmd_scenarios)
+
     fig8 = commands.add_parser("figure8", help="security matrix")
+    fig8.add_argument(
+        "--jobs", type=_jobs_arg, default=1,
+        help="parallel simulation processes (0 = all cores)",
+    )
+    _add_store_flags(fig8)
     fig8.set_defaults(handler=_cmd_figure8)
 
     table = commands.add_parser("table", help="performance tables")

@@ -36,7 +36,7 @@ from repro.attacks.snippets import (
     emit_probe_loop,
     emit_signal,
     emit_spin_wait,
-    emit_victim_direct,
+    emit_victim,
 )
 from repro.errors import ConfigError
 from repro.isa.builder import ProgramBuilder
@@ -81,7 +81,7 @@ class AdversarialPrefetchAttack(CacheAttack):
 
         victim = ProgramBuilder(f"adversarial_prefetch_{self.variant}_victim")
         emit_spin_wait(victim, layout.flag_attacker_ready)
-        emit_victim_direct(victim, layout, options)
+        emit_victim(victim, layout, options)
         emit_signal(victim, layout.flag_victim_done)
         victim.halt()
         return [attacker.build(), victim.build()]

@@ -13,7 +13,7 @@ from repro.attacks.base import CacheAttack
 from repro.attacks.snippets import (
     emit_evict_loop,
     emit_probe_loop,
-    emit_victim_direct,
+    emit_victim,
     emit_warm_loop,
 )
 from repro.isa.builder import ProgramBuilder
@@ -39,7 +39,7 @@ class EvictReloadAttack(CacheAttack):
         builder.data(layout.secret_addr, [options.secret])
         emit_warm_loop(builder, layout, options)
         emit_evict_loop(builder, layout, options)
-        emit_victim_direct(builder, layout, options)
+        emit_victim(builder, layout, options)
         emit_probe_loop(builder, layout, options)
         builder.halt()
         return [builder.build()]

@@ -19,7 +19,7 @@ after the victim block), so the channel needs no per-line probing at all.
 from __future__ import annotations
 
 from repro.attacks.base import CacheAttack
-from repro.attacks.snippets import emit_victim_direct
+from repro.attacks.snippets import emit_victim
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
 
@@ -53,7 +53,7 @@ class EvictTimeAttack(CacheAttack):
         builder.data(layout.secret_addr, [options.secret])
 
         # Warm everything once so later rounds measure steady state.
-        emit_victim_direct(builder, layout, options)
+        emit_victim(builder, layout, options)
 
         # For each monitored set s: evict it (two conflicting ways), run the
         # victim, store its measured duration.
@@ -66,15 +66,11 @@ class EvictTimeAttack(CacheAttack):
         builder.add("r5", "r1", "r4")
         builder.load("r6", layout.evict_offset_1, "r5")
         builder.load("r6", layout.evict_offset_2, "r5")
-        # Time the victim's secret-dependent access (same code every round).
+        # Time the victim's secret-dependent phase (same code every round;
+        # crypto victims put all their lookups inside the timed window).
         builder.fence()
         builder.rdcycle("r7")
-        builder.li("r11", layout.secret_addr)
-        builder.load("r10", 0, "r11")
-        builder.mul("r4", "r10", options.scale)
-        builder.li("r1", layout.probe_base)
-        builder.add("r5", "r1", "r4")
-        builder.load("r6", 0, "r5")
+        emit_victim(builder, layout, options)
         builder.rdcycle("r8")
         builder.sub("r9", "r8", "r7")
         builder.li("r19", layout.results_base)

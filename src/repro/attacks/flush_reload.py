@@ -18,7 +18,7 @@ from repro.attacks.snippets import (
     emit_probe_loop,
     emit_signal,
     emit_spin_wait,
-    emit_victim_direct,
+    emit_victim,
     emit_victim_spectre,
 )
 from repro.errors import ConfigError
@@ -66,7 +66,7 @@ class FlushReloadAttack(CacheAttack):
             emit_victim_spectre(builder, layout, options)
         else:
             emit_flush_loop(builder, layout, options)
-            emit_victim_direct(builder, layout, options)
+            emit_victim(builder, layout, options)
         emit_probe_loop(builder, layout, options)
         builder.halt()
         return builder.build()
@@ -89,7 +89,7 @@ class FlushReloadAttack(CacheAttack):
 
         victim = ProgramBuilder("flush_reload_victim")
         emit_spin_wait(victim, layout.flag_attacker_ready)
-        emit_victim_direct(victim, layout, options)
+        emit_victim(victim, layout, options)
         emit_signal(victim, layout.flag_victim_done)
         victim.halt()
         return [attacker.build(), victim.build()]

@@ -38,6 +38,13 @@ class AttackOptions:
     # every tracker observes) or "prefetch" (a timed software prefetch that
     # no demand-traffic defense ever sees — Adversarial Prefetch's A2).
     probe_kind: str = "load"
+    # Which phase-2 victim runs between the attacker's prepare and probe
+    # phases: "direct" is the paper's single secret-dependent access; any
+    # other name is resolved in the crypto-victim registry
+    # (:mod:`repro.workloads.crypto`) at program-build time, so unknown
+    # names fail there, not here (the registry cannot be imported from this
+    # module without a cycle).
+    victim: str = "direct"
 
     def __post_init__(self) -> None:
         if not 0 <= self.secret < self.num_indices:
@@ -50,6 +57,13 @@ class AttackOptions:
             raise ConfigError("probe_step must be positive")
         if self.probe_kind not in ("load", "prefetch"):
             raise ConfigError(f"unknown probe_kind {self.probe_kind!r}")
+        if not self.victim:
+            raise ConfigError("victim must be a non-empty registry name")
+        if self.victim != "direct" and self.victim_mode != "direct":
+            raise ConfigError(
+                "crypto victims run in victim_mode='direct'; the spectre "
+                "transient victim exists only for the direct access"
+            )
 
     @property
     def challenges(self) -> str:

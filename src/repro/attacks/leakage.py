@@ -1,0 +1,93 @@
+"""Leakage scoring for scenario trials: success rate + mutual information.
+
+Two complementary scores over a set of :class:`~repro.runner.ScenarioProbe`
+trials (same attack × victim × defense, different secrets):
+
+* **attacker success rate** — the fraction of trials whose candidate set
+  singles out exactly the victim's expected access footprint (the
+  scenario-level generalisation of the paper's "uniquely recovers the
+  secret" criterion; PCG-style evaluations score defenses the same way).
+* **mutual information** — a plug-in (maximum-likelihood) estimate of
+  ``I(S; X)`` in bits between the trial secret ``S`` (a nibble for the
+  bundled crypto victims) and the attacker's observable ``X``.  ``X`` is
+  the *candidate set* — the per-index latencies binarised by the attack's
+  own hit threshold — which is precisely the information the attacker's
+  decision procedure keeps from the raw timings.  The estimate treats the
+  trials as one sample per secret and computes
+  ``H(S) + H(X) - H(S, X)`` over the empirical joint distribution: with
+  every secret producing a distinct candidate set the score reaches its
+  ceiling ``log2(#secrets)`` (total leakage); when the defense makes the
+  observable indistinguishable across secrets it falls to 0.
+
+The estimator is deliberately simple — the simulator is deterministic per
+configuration, so there is no sampling noise to correct for — and its
+ceiling is always reported alongside so a score can be read as a
+fraction of the recoverable secret.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigError
+from repro.runner import ScenarioProbe
+
+
+@dataclass(frozen=True)
+class LeakageScore:
+    """Aggregated verdict for one attack × victim × defense scenario."""
+
+    trials: int
+    success_rate: float
+    mi_bits: float
+    mi_ceiling_bits: float
+
+    @property
+    def mi_fraction(self) -> float:
+        """Leaked fraction of the recoverable secret (0..1)."""
+        if self.mi_ceiling_bits == 0:
+            return 0.0
+        return self.mi_bits / self.mi_ceiling_bits
+
+
+def _entropy(counts: Iterable[int], total: int) -> float:
+    return -sum(
+        (count / total) * math.log2(count / total) for count in counts if count
+    )
+
+
+def mutual_information_bits(
+    secrets: Sequence[int], observations: Sequence[tuple]
+) -> float:
+    """Plug-in ``I(S; X)`` in bits over paired (secret, observation) samples."""
+    if len(secrets) != len(observations):
+        raise ConfigError(
+            f"{len(secrets)} secrets vs {len(observations)} observations"
+        )
+    total = len(secrets)
+    if total == 0:
+        return 0.0
+    h_s = _entropy(Counter(secrets).values(), total)
+    h_x = _entropy(Counter(observations).values(), total)
+    h_sx = _entropy(Counter(zip(secrets, observations)).values(), total)
+    # Clamp tiny negative float residue from the three-entropy difference.
+    return max(0.0, h_s + h_x - h_sx)
+
+
+def score_trials(probes: Sequence[ScenarioProbe]) -> LeakageScore:
+    """Score one scenario's trials (one probe per secret)."""
+    if not probes:
+        raise ConfigError("cannot score an empty trial set")
+    secrets = [probe.secret for probe in probes]
+    observations = [tuple(sorted(probe.candidates)) for probe in probes]
+    mi = mutual_information_bits(secrets, observations)
+    ceiling = _entropy(Counter(secrets).values(), len(secrets))
+    return LeakageScore(
+        trials=len(probes),
+        success_rate=sum(probe.succeeded for probe in probes) / len(probes),
+        mi_bits=mi,
+        mi_ceiling_bits=ceiling,
+    )

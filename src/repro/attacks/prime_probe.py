@@ -12,7 +12,7 @@ from repro.attacks.base import CacheAttack
 from repro.attacks.snippets import (
     emit_prime_loop,
     emit_probe_loop,
-    emit_victim_direct,
+    emit_victim,
 )
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
@@ -41,7 +41,7 @@ class PrimeProbeAttack(CacheAttack):
         )
         builder.data(layout.secret_addr, [options.secret])
         emit_prime_loop(builder, layout, options)
-        emit_victim_direct(builder, layout, options)
+        emit_victim(builder, layout, options)
         emit_probe_loop(
             builder,
             layout,

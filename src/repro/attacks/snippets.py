@@ -154,6 +154,24 @@ def emit_victim_direct(
     builder.load("r6", 0, "r5")
 
 
+def emit_victim(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    """Phase-2 victim dispatch: direct access or a registered crypto victim.
+
+    ``options.victim`` names the victim; ``"direct"`` is the paper's single
+    secret-dependent access, anything else resolves through the crypto
+    registry (imported lazily — :mod:`repro.workloads.crypto` itself
+    imports this package's layout, so a module-level import would cycle).
+    """
+    if options.victim == "direct":
+        emit_victim_direct(builder, layout, options)
+        return
+    from repro.workloads.crypto import get_victim
+
+    get_victim(options.victim).emit(builder, layout, options)
+
+
 def emit_victim_spectre(
     builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
 ) -> None:

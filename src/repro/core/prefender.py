@@ -80,6 +80,28 @@ class Prefender(Prefetcher):
             return 0
         return self.access_tracker.protected_count()
 
+    def defense_stats(self) -> dict[str, int]:
+        """Defense-internal counters for ``RunResult.defense_stats``.
+
+        Buffer starvation (``allocation_failures``) and the protection
+        lifecycle counters are what the scenario suite and Fig. 12-style
+        series read; without this export they died with the prefetcher
+        object at the end of the run.
+        """
+        stats: dict[str, int] = {}
+        if self.access_tracker is not None:
+            at = self.access_tracker
+            stats["at_proposals"] = at.proposals
+            stats["rp_guided_proposals"] = at.guided_proposals
+            stats["allocation_failures"] = at.allocation_failures
+            stats["protected_buffers"] = at.protected_count()
+        if self.record_protector is not None:
+            rp = self.record_protector
+            stats["protections"] = rp.protections
+            stats["unprotections"] = rp.unprotections
+            stats["sweep_unprotections"] = rp.sweep_unprotections
+        return stats
+
     # -- the prefetcher interface ----------------------------------------------------
 
     def observe(

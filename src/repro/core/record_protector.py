@@ -13,6 +13,18 @@ Links the Scale Tracker and the Access Tracker:
    step uses the hit scale rather than DiffMin (challenge C4).  Protection
    expires after a bounded number of guided prefetches or after the buffer
    stays untouched for a time threshold.
+
+Idle expiry is enforced by a *sweep* over every protected buffer on each
+observed load, not just the buffer mapped to the currently loading PC: a
+buffer whose load PC never executes again would otherwise never be seen by
+``guidance_for``, so its ``unprotect_idle_cycles`` deadline could never
+fire and the protection (and its immunity to LRU replacement) was eternal.
+With enough quiescent protected PCs, ``AccessTracker._allocate_new`` runs
+out of replaceable buffers and the defense silently stops learning new
+patterns — challenge C3's protection inverted into self-inflicted denial
+of defense.  The protector keeps an explicit list of the buffers it has
+protected so the sweep walks only those (the protected set is small),
+never all ``num_buffers``.
 """
 
 from __future__ import annotations
@@ -37,11 +49,21 @@ class RecordProtector:
         self.unprotect_idle_cycles = unprotect_idle_cycles
         self.protections = 0
         self.unprotections = 0
+        # Idle expirations found by the all-buffer sweep (quiescent PCs the
+        # per-PC path could never reach); a subset of ``unprotections``,
+        # counted separately so Fig. 12-style series stay interpretable.
+        self.sweep_unprotections = 0
+        # Buffers this protector marked protected, in protection order.
+        # Entries go stale when a buffer is unprotected or reset elsewhere;
+        # the sweep drops them lazily.
+        self._protected: list[AccessBuffer] = []
 
     def reset(self) -> None:
         self.scale_buffer.reset()
         self.protections = 0
         self.unprotections = 0
+        self.sweep_unprotections = 0
+        self._protected.clear()
 
     # -- stage 1 ---------------------------------------------------------------
 
@@ -50,6 +72,13 @@ class RecordProtector:
         self.scale_buffer.record(scale, block_addr)
 
     # -- stages 2 & 3 ------------------------------------------------------------
+
+    def _remember_protected(self, buffer: AccessBuffer) -> None:
+        """Index a freshly protected buffer for the idle-expiry sweep."""
+        for tracked in self._protected:
+            if tracked is buffer:
+                return
+        self._protected.append(buffer)
 
     def expire_stale_protection(self, buffer: AccessBuffer, now: int) -> None:
         """Drop protection on exhausted or idle buffers."""
@@ -62,6 +91,30 @@ class RecordProtector:
             buffer.unprotect()
             self.unprotections += 1
 
+    def sweep_idle_protection(self, now: int) -> int:
+        """Expire idle protection across *every* protected buffer.
+
+        ``guidance_for`` only sees the buffer of the currently loading PC,
+        so this sweep is the only path that can ever unprotect a buffer
+        whose PC went quiescent.  Returns the number of buffers expired.
+        """
+        if not self._protected:
+            return 0
+        expired = 0
+        kept: list[AccessBuffer] = []
+        for buffer in self._protected:
+            if not buffer.protected:
+                continue  # unprotected or reset elsewhere: drop the entry
+            if now - buffer.last_touch > self.unprotect_idle_cycles:
+                buffer.unprotect()
+                self.unprotections += 1
+                self.sweep_unprotections += 1
+                expired += 1
+            else:
+                kept.append(buffer)
+        self._protected = kept
+        return expired
+
     def guidance_for(
         self, observation: Observation, tracker: AccessTracker
     ) -> int | None:
@@ -73,7 +126,10 @@ class RecordProtector:
         block_addr = observation.block_addr
         buffer = tracker.buffer_for_pc(observation.pc)
         if buffer is not None:
+            # Per-PC expiry first, so an expiry of the *loading* PC's own
+            # buffer is attributed to the plain counter, not the sweep.
             self.expire_stale_protection(buffer, observation.now)
+        self.sweep_idle_protection(observation.now)
 
         record = self.scale_buffer.match(block_addr)
         if record is not None:
@@ -90,6 +146,7 @@ class RecordProtector:
                 # could never fire.
                 self.protections += 1
                 buffer.protect(record.sc, record.blk)
+                self._remember_protected(buffer)
             return record.sc
 
         # No scale-buffer hit: fall back to the buffer's latched protected
@@ -108,4 +165,5 @@ class RecordProtector:
         buffer = tracker.buffer_for_pc(observation.pc)
         if buffer is not None and not buffer.protected:
             buffer.protect(record.sc, record.blk)
+            self._remember_protected(buffer)
             self.protections += 1

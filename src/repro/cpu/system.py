@@ -37,6 +37,9 @@ class RunResult:
     prefetch_counts: list[dict[str, int]]
     prefetch_timelines: list[list[tuple[int, str, int]]]
     samples: list[tuple[int, object]] = field(default_factory=list)
+    # Per-core PREFENDER-internal counters (allocation_failures, protection
+    # lifecycle); empty dicts for cores without a PREFENDER.
+    defense_stats: list[dict[str, int]] = field(default_factory=list)
 
     @property
     def ipc(self) -> float:
@@ -210,7 +213,24 @@ class System:
                 for core_id in range(hierarchy.num_cores)
             ],
             samples=samples,
+            defense_stats=[
+                _defense_stats(hierarchy.prefetcher_for(core_id))
+                for core_id in range(hierarchy.num_cores)
+            ],
         )
+
+
+def _defense_stats(prefetcher) -> dict[str, int]:
+    """PREFENDER-internal counters for one core's prefetcher (or {})."""
+    stats = getattr(prefetcher, "defense_stats", None)
+    if callable(stats):
+        return stats()
+    # CompositePrefetcher wraps PREFENDER as `primary`.
+    primary = getattr(prefetcher, "primary", None)
+    stats = getattr(primary, "defense_stats", None)
+    if callable(stats):
+        return stats()
+    return {}
 
 
 def _default_sample(system: System) -> int:

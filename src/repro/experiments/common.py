@@ -34,6 +34,10 @@ SECURITY_BUFFERS = 8
 
 BASELINE_SPEC = PrefetcherSpec(kind="none")
 
+#: Every defense column label `security_spec` resolves (the CLI's
+#: --defense/--defenses choices).
+DEFENSES = ("Base", "ST", "AT", "ST+AT", "AT+RP", "FULL")
+
 
 def security_prefender(variant: str) -> PrefenderConfig:
     """PREFENDER variant configs used in Fig. 8 (8 access buffers)."""

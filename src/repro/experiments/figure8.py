@@ -5,26 +5,35 @@ Twelve panels: {Flush+Reload, Evict+Reload, Prime+Probe} x {C1+C2,
 verdict shape targets (DESIGN.md): baseline uniquely leaks; ST yields
 secret±1; AT floods (and fails under C3/C4 noise); RP restores the
 defense.
+
+The whole matrix is one declarative :class:`~repro.runner.ScenarioJob`
+grid submitted as a single :func:`~repro.runner.run_batch` — the same
+path the crypto-victim scenario suite uses — so panels deduplicate,
+shard across ``jobs`` processes and cache in the disk store instead of
+running attacks one by one inline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.attacks import (
-    AttackOutcome,
-    EvictReloadAttack,
-    FlushReloadAttack,
-    PrimeProbeAttack,
-)
+from repro.attacks.base import verdict_line
 from repro.experiments.common import security_spec
+from repro.runner import (
+    ATTACK_KINDS,
+    ResultStore,
+    ScenarioJob,
+    ScenarioProbe,
+    run_batch,
+)
 from repro.sim.config import SystemConfig
 from repro.utils.textplot import ascii_series
 
+#: Display name -> attack registry kind.
 ATTACKS = {
-    "Flush+Reload": FlushReloadAttack,
-    "Evict+Reload": EvictReloadAttack,
-    "Prime+Probe": PrimeProbeAttack,
+    "Flush+Reload": "flush-reload",
+    "Evict+Reload": "evict-reload",
+    "Prime+Probe": "prime-probe",
 }
 
 # Panel layout mirrors the paper: challenges -> defense configs shown.
@@ -47,29 +56,56 @@ CHALLENGE_OPTIONS = {
 class Panel:
     attack: str
     challenges: str
-    outcomes: dict[str, AttackOutcome]  # defense label -> outcome
+    outcomes: dict[str, ScenarioProbe]  # defense label -> scored trial
 
 
 def run(
     attacks: list[str] | None = None,
     challenges: list[str] | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> list[Panel]:
     """Run the Figure 8 grid; returns one Panel per (attack, challenge)."""
-    panels = []
+    cells: list[tuple[str, str, str]] = []
+    grid: list[ScenarioJob] = []
     for challenge in challenges or list(PANEL_DEFENSES):
         options = CHALLENGE_OPTIONS[challenge]
         for attack_name in attacks or list(ATTACKS):
-            attack_cls = ATTACKS[attack_name]
-            outcomes = {}
+            kind = ATTACKS[attack_name]
+            # Attack-class defaults (e.g. Prime+Probe's 48 monitored sets)
+            # merge into the options — and thus into the content key.
+            merged = ATTACK_KINDS[kind](**options).options
             for defense in PANEL_DEFENSES[challenge]:
-                attack = attack_cls(**options)
-                outcomes[defense] = attack.run(
-                    SystemConfig(prefetcher=security_spec(defense))
+                cells.append((attack_name, challenge, defense))
+                grid.append(
+                    ScenarioJob(
+                        attack=kind,
+                        system=SystemConfig(prefetcher=security_spec(defense)),
+                        options=merged,
+                    )
                 )
-            panels.append(
-                Panel(attack=attack_name, challenges=challenge, outcomes=outcomes)
-            )
+    probes = run_batch(grid, workers=jobs, store=store)
+    panels: list[Panel] = []
+    by_panel: dict[tuple[str, str], Panel] = {}
+    for (attack_name, challenge, defense), probe in zip(cells, probes):
+        panel = by_panel.get((attack_name, challenge))
+        if panel is None:
+            panel = Panel(attack=attack_name, challenges=challenge, outcomes={})
+            by_panel[(attack_name, challenge)] = panel
+            panels.append(panel)
+        panel.outcomes[defense] = probe
     return panels
+
+
+def _summary(probe: ScenarioProbe, defense: str) -> str:
+    return verdict_line(
+        ATTACK_KINDS[probe.attack].name,
+        probe.challenges,
+        security_spec(defense).label,
+        probe.succeeded,
+        probe.candidates,
+        probe.secret,
+    )
 
 
 def render(panels: list[Panel]) -> str:
@@ -90,7 +126,7 @@ def render(panels: list[Panel]) -> str:
             )
         )
         for defense, outcome in panel.outcomes.items():
-            lines.append(f"  {defense:>6}: {outcome.summary()}")
+            lines.append(f"  {defense:>6}: {_summary(outcome, defense)}")
         blocks.append("\n".join(lines))
     return "\n\n".join(blocks)
 
@@ -100,7 +136,5 @@ def verdicts(panels: list[Panel]) -> dict[tuple[str, str, str], bool]:
     result = {}
     for panel in panels:
         for defense, outcome in panel.outcomes.items():
-            result[(panel.attack, panel.challenges, defense)] = (
-                outcome.attack_succeeded
-            )
+            result[(panel.attack, panel.challenges, defense)] = outcome.succeeded
     return result

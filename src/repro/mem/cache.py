@@ -40,6 +40,7 @@ class CacheStats:
     miss_latency_total: int = 0
     prefetch_issued: int = 0
     prefetch_dropped: int = 0
+    prefetch_squashed: int = 0
     useful_prefetches: int = 0
     evictions: int = 0
     writebacks: int = 0
@@ -252,12 +253,16 @@ class Cache:
             if demand:
                 stats.inflight_hits += 1
                 stats.miss_latency_total += latency - self.hit_latency
+                if line.prefetched:
+                    # The load's charged latency assumes this fill lands:
+                    # pin its MSHR entry against demand-priority squashing.
+                    self.mshr.mark_demand_consumed(block_addr, now)
             return latency, "INFLIGHT"
 
         if demand:
             stats.misses += 1
 
-        merged_ready = self.mshr.merge(block_addr, now)
+        merged_ready = self.mshr.merge(block_addr, now, demand=demand)
         if merged_ready is not None:
             latency = max(self.hit_latency, merged_ready - now)
             if demand:
@@ -271,6 +276,9 @@ class Cache:
         fill_time = self.hit_latency + below_latency
         if demand:
             start, ready_time = self.mshr.allocate_demand(block_addr, now, fill_time)
+            squashed = self.mshr.last_squashed_block
+            if squashed is not None:
+                self._cancel_squashed_fill(squashed, now)
         else:
             # Prefetch-triggered fill arriving from a child cache: it must
             # not occupy a demand MSHR (capacity was enforced at the child).
@@ -291,6 +299,35 @@ class Cache:
         if demand:
             stats.miss_latency_total += total_latency - self.hit_latency
         return total_latency, below_level
+
+    def _cancel_squashed_fill(self, block_addr: int, now: int) -> None:
+        """Abandon an in-flight prefetch fill whose MSHR entry was squashed.
+
+        Demand priority means the squashed prefetch's data never arrives:
+        the line inserted at issue time is removed again while still in
+        flight, so later probes see a genuine miss instead of a fill that
+        the MSHR file claims was abandoned.  A fill that already landed
+        (``ready_time <= now``) or a demand line is left alone.  Child
+        copies of the in-flight fill are back-invalidated (``on_evict``) so
+        an inclusive parent never cancels data an L1 still advertises, and
+        a dirty in-flight line (a store merged into the fill) writes back
+        first, as every other removal path does.
+        """
+        set_index = (block_addr >> self._block_bits) & self._set_mask
+        way = self._tags[set_index].get(block_addr)
+        if way is None:
+            return
+        line = self._sets[set_index][way]
+        if not line.prefetched or line.ready_time <= now:
+            return
+        if self.on_evict is not None:
+            self.on_evict(block_addr, now)
+        if line.dirty:
+            self.stats.writebacks += 1
+            self.parent.mark_dirty(block_addr)
+        del self._tags[set_index][block_addr]
+        line.invalidate()
+        self.stats.prefetch_squashed += 1
 
     # -- prefetch path -------------------------------------------------------
 

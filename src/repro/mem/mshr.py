@@ -2,9 +2,10 @@
 
 The paper's gem5 baseline has 4 MSHRs, each merging up to 20 requests to the
 same line.  Here an MSHR entry is an outstanding fill identified by its block
-address and completion time.  Demand misses that find no free entry *wait*
-for the earliest completion; prefetches that find no free entry are
-*dropped* (gem5 squashes prefetches on full MSHRs the same way).
+address and completion time.  Demand misses that find no free entry first
+*squash* an outstanding prefetch fill (demand priority, gem5's policy) and
+only *wait* for the earliest completion when every entry is a demand fill;
+prefetches that find no free entry are *dropped*.
 """
 
 from __future__ import annotations
@@ -18,6 +19,13 @@ class _Entry:
     ready_time: int
     merges: int = 0
     is_prefetch: bool = False
+    # Demand fill running in a squashed prefetch's slot: counts against the
+    # prefetch pool until it completes (the slot is physically occupied).
+    borrows_prefetch_slot: bool = False
+    # A demand access consumed this fill (inflight hit or merge): the entry
+    # now has a demand waiter, so demand-priority squashing must not
+    # victimize it — cancelling would revoke data a load was promised.
+    demand_consumed: bool = False
 
 
 class MSHRFile:
@@ -44,6 +52,10 @@ class MSHRFile:
         self.merges = 0
         self.prefetch_drops = 0
         self.prefetch_squashes = 0
+        # Block address of the prefetch entry squashed by the most recent
+        # allocate_demand call (None when it squashed nothing); the owning
+        # cache reads this to abandon the in-flight fill itself.
+        self.last_squashed_block: int | None = None
 
     def _purge(self, now: int) -> None:
         self._entries = [e for e in self._entries if e.ready_time > now]
@@ -54,22 +66,43 @@ class MSHRFile:
         return len(self._entries)
 
     def available(self, now: int) -> bool:
-        """True when a new demand fill could start immediately at ``now``."""
+        """True when a new demand fill could start immediately at ``now``.
+
+        Mirrors :meth:`allocate_demand` exactly: a free demand slot
+        (borrowed-slot fills live in the prefetch pool and don't count), or
+        a squashable prefetch entry whose slot a demand could take over.
+        """
         self._purge(now)
-        demand = sum(1 for e in self._entries if not e.is_prefetch)
-        return demand < self.num_entries
+        demand = sum(
+            1
+            for e in self._entries
+            if not e.is_prefetch and not e.borrows_prefetch_slot
+        )
+        if demand < self.num_entries:
+            return True
+        return any(
+            e.is_prefetch and not e.demand_consumed for e in self._entries
+        )
 
     def prefetch_available(self, now: int) -> bool:
-        """True when a prefetch slot is free at ``now``."""
+        """True when a prefetch slot is free at ``now``.
+
+        Demand fills that squashed a prefetch occupy its slot until they
+        complete, so they count against the pool here.
+        """
         self._purge(now)
-        inflight = sum(1 for e in self._entries if e.is_prefetch)
+        inflight = sum(
+            1 for e in self._entries if e.is_prefetch or e.borrows_prefetch_slot
+        )
         return inflight < self.prefetch_entries
 
-    def merge(self, block_addr: int, now: int) -> int | None:
+    def merge(self, block_addr: int, now: int, demand: bool = True) -> int | None:
         """Try to merge an access to an in-flight line.
 
         Returns the outstanding fill's ready time, or ``None`` when no entry
-        covers ``block_addr`` or its merge budget is exhausted.
+        covers ``block_addr`` or its merge budget is exhausted.  A demand
+        merge pins the entry against demand-priority squashing (it now has
+        a waiter).
         """
         self._purge(now)
         for entry in self._entries:
@@ -78,16 +111,34 @@ class MSHRFile:
                     return None
                 entry.merges += 1
                 self.merges += 1
+                if demand:
+                    entry.demand_consumed = True
                 return entry.ready_time
         return None
+
+    def mark_demand_consumed(self, block_addr: int, now: int) -> None:
+        """Pin ``block_addr``'s outstanding fill: a demand access hit it.
+
+        Called by the cache on a demand inflight-hit (the line exists with
+        a future ready time, so the access never reaches :meth:`merge`);
+        the entry becomes unsquashable because a load's charged latency
+        depends on the fill actually landing.
+        """
+        self._purge(now)
+        for entry in self._entries:
+            if entry.block_addr == block_addr:
+                entry.demand_consumed = True
+                return
 
     def allocate_demand(self, block_addr: int, now: int, fill_time: int) -> tuple[int, int]:
         """Allocate an entry for a demand miss.
 
-        Demand misses have priority: when all entries are busy, an
+        Demand misses have priority: when all demand entries are busy, an
         outstanding *prefetch* entry is squashed to make room (gem5's
-        policy); only when every entry is a demand fill does the miss wait
-        for the earliest completion.
+        policy) — the earliest-ready prefetch fill is abandoned and the
+        demand miss starts immediately in its slot.  Only when no prefetch
+        entry is outstanding does the miss wait for the earliest demand
+        completion.
 
         Returns:
             ``(start_time, ready_time)`` — the fill begins at ``start_time``
@@ -95,15 +146,40 @@ class MSHRFile:
         """
         self._purge(now)
         start_time = now
-        demand_entries = [e for e in self._entries if not e.is_prefetch]
+        borrows = False
+        self.last_squashed_block = None
+        # Borrowed-slot fills occupy the prefetch pool, not the demand pool.
+        demand_entries = [
+            e
+            for e in self._entries
+            if not e.is_prefetch and not e.borrows_prefetch_slot
+        ]
         if len(demand_entries) >= self.num_entries:
-            earliest = min(entry.ready_time for entry in demand_entries)
-            start_time = max(now, earliest)
-            self.demand_waits += 1
-            self.total_wait_cycles += start_time - now
-            self._purge(start_time)
+            prefetch_entries = [
+                e
+                for e in self._entries
+                if e.is_prefetch and not e.demand_consumed
+            ]
+            if prefetch_entries:
+                victim = min(prefetch_entries, key=lambda e: e.ready_time)
+                self._entries.remove(victim)
+                self.prefetch_squashes += 1
+                self.last_squashed_block = victim.block_addr
+                borrows = True
+            else:
+                earliest = min(entry.ready_time for entry in demand_entries)
+                start_time = max(now, earliest)
+                self.demand_waits += 1
+                self.total_wait_cycles += start_time - now
+                self._purge(start_time)
         ready_time = start_time + fill_time
-        self._entries.append(_Entry(block_addr=block_addr, ready_time=ready_time))
+        self._entries.append(
+            _Entry(
+                block_addr=block_addr,
+                ready_time=ready_time,
+                borrows_prefetch_slot=borrows,
+            )
+        )
         return start_time, ready_time
 
     def allocate_prefetch_fill(self, block_addr: int, now: int, fill_time: int) -> int:
@@ -127,7 +203,9 @@ class MSHRFile:
         dropped because no MSHR was free.
         """
         self._purge(now)
-        inflight = sum(1 for e in self._entries if e.is_prefetch)
+        inflight = sum(
+            1 for e in self._entries if e.is_prefetch or e.borrows_prefetch_slot
+        )
         if inflight >= self.prefetch_entries:
             self.prefetch_drops += 1
             return None

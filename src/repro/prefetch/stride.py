@@ -2,9 +2,12 @@
 
 A reference prediction table keyed by the load/store PC tracks the last
 address and the last observed stride with a two-state confidence scheme
-(transient -> steady).  Once steady, it prefetches ``distance`` strides
-ahead.  Random probe orders defeat it — exactly the paper's challenge C2
-motivation for the Access Tracker.
+(transient -> steady): the second matching delta promotes an entry to
+steady, and only an *already steady* entry issues prefetches — the first
+fetch goes out on the third matching delta, per Baer & Chen's
+"prediction verified twice" gating.  Once steady, it prefetches
+``distance`` strides ahead.  Random probe orders defeat it — exactly the
+paper's challenge C2 motivation for the Access Tracker.
 """
 
 from __future__ import annotations
@@ -67,15 +70,18 @@ class StridePrefetcher(Prefetcher):
         requests: list[PrefetchRequest] = []
         if new_stride != 0 and abs(new_stride) <= self.max_stride:
             if new_stride == entry.stride:
-                # Second identical delta: steady state — prefetch ahead.
-                entry.confident = True
-                for step in range(1, self.distance + 1):
-                    candidate = observation.addr + new_stride * step
-                    if candidate < 0 or l1d_contains(candidate):
-                        continue
-                    requests.append(
-                        PrefetchRequest(addr=candidate, component=self.name)
-                    )
+                if entry.confident:
+                    # Third matching delta onwards: steady — prefetch ahead.
+                    for step in range(1, self.distance + 1):
+                        candidate = observation.addr + new_stride * step
+                        if candidate < 0 or l1d_contains(candidate):
+                            continue
+                        requests.append(
+                            PrefetchRequest(addr=candidate, component=self.name)
+                        )
+                else:
+                    # Second matching delta: transient -> steady, no issue yet.
+                    entry.confident = True
             else:
                 entry.confident = False
                 entry.stride = new_stride

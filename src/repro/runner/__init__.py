@@ -32,6 +32,8 @@ from repro.runner.job import (
     AttackJob,
     AttackProbe,
     AttackProbeJob,
+    ScenarioJob,
+    ScenarioProbe,
     SimJob,
     SimResult,
     fingerprint,
@@ -50,6 +52,8 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "KEY_VERSION",
     "ResultStore",
+    "ScenarioJob",
+    "ScenarioProbe",
     "SimJob",
     "SimResult",
     "WorkerPool",

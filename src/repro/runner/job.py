@@ -22,6 +22,13 @@ Three job kinds cover everything the experiments run:
   (:class:`AttackProbe`: succeeded?, candidate set, cycles).  Probes *are*
   JSON-able, so frontier sweeps can serve repeat security grids warm from
   the disk store.
+* :class:`ScenarioJob` — one attack × crypto-victim × defense trial for
+  one secret (:mod:`repro.attacks.scenarios` builds the grids).  Its
+  :class:`ScenarioProbe` scores the candidate set against the victim's
+  *expected access footprint* (multi-line victims are recovered when the
+  attacker isolates exactly those lines) and keeps the raw latencies, so
+  the leakage scorer can estimate mutual information.  JSON-able and
+  disk-cacheable.
 """
 
 from __future__ import annotations
@@ -49,7 +56,10 @@ from repro.workloads import get_workload
 
 #: Bump when the key schema or the simulator's observable semantics change;
 #: invalidates every on-disk store entry at once.
-KEY_VERSION = 1
+#: v2: Record Protector idle-expiry sweep, MSHR demand-priority prefetch
+#: squash and Baer–Chen stride confidence gating all shift cycle counts;
+#: SimResult additionally grew ``defense_stats``.
+KEY_VERSION = 2
 
 #: Attack registry names (shared with the CLI's ``attack`` command).
 ATTACK_KINDS = {
@@ -120,6 +130,7 @@ class SimResult:
     l2_stats: dict
     prefetch_counts: list[dict[str, int]]
     samples: list[tuple[int, int]] = field(default_factory=list)
+    defense_stats: list[dict[str, int]] = field(default_factory=list)
 
     @classmethod
     def from_run(cls, result: RunResult) -> "SimResult":
@@ -132,6 +143,7 @@ class SimResult:
             l2_stats=dict(result.l2_stats),
             prefetch_counts=[dict(counts) for counts in result.prefetch_counts],
             samples=[(int(step), int(value)) for step, value in result.samples],
+            defense_stats=[dict(stats) for stats in result.defense_stats],
         )
 
     def to_json(self) -> dict:
@@ -150,6 +162,10 @@ class SimResult:
             l2_stats=dict(data["l2_stats"]),
             prefetch_counts=[dict(counts) for counts in data["prefetch_counts"]],
             samples=[(step, value) for step, value in data["samples"]],
+            defense_stats=[
+                {str(key): int(value) for key, value in stats.items()}
+                for stats in data.get("defense_stats", [])
+            ],
         )
 
 
@@ -338,4 +354,142 @@ class AttackProbeJob:
             succeeded=outcome.attack_succeeded,
             candidates=list(outcome.candidates),
             cycles=outcome.run_result.cycles,
+        )
+
+
+@dataclass
+class ScenarioProbe:
+    """JSON-serialisable outcome of one attack × victim × defense trial.
+
+    ``expected`` is the victim's secret-dependent access footprint (from
+    :meth:`repro.workloads.crypto.CryptoVictim.expected_indices`);
+    ``succeeded`` means the attacker's candidate set singled out exactly
+    that footprint.  ``latencies`` keeps the per-index measurements so
+    :mod:`repro.attacks.leakage` can estimate the mutual information
+    between the secret and the attacker's observable, and
+    ``defense_stats`` carries the per-core PREFENDER counters (protection
+    lifecycle, buffer starvation) of the run.
+    """
+
+    attack: str
+    victim: str
+    challenges: str
+    secret: int
+    expected: list[int]
+    candidates: list[int]
+    latencies: list[int]
+    succeeded: bool
+    cycles: int
+    defense_stats: list[dict[str, int]]
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ScenarioProbe":
+        return cls(
+            attack=str(data["attack"]),
+            victim=str(data["victim"]),
+            challenges=str(data["challenges"]),
+            secret=int(data["secret"]),
+            expected=[int(index) for index in data["expected"]],
+            candidates=[int(index) for index in data["candidates"]],
+            latencies=[int(latency) for latency in data["latencies"]],
+            succeeded=bool(data["succeeded"]),
+            cycles=int(data["cycles"]),
+            defense_stats=[
+                {str(key): int(value) for key, value in stats.items()}
+                for stats in data.get("defense_stats", [])
+            ],
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioJob:
+    """One attack on one crypto victim for one secret, scored by footprint.
+
+    The victim name and trial secret live inside ``options`` (both are
+    :class:`~repro.attacks.layout.AttackOptions` fields), so the content
+    key covers them automatically; prefer :meth:`build`, which resolves
+    the victim's probe-array geometry and the attack's option defaults
+    *into* the key.
+    """
+
+    attack: str
+    system: SystemConfig = field(default_factory=SystemConfig)
+    options: AttackOptions = field(default_factory=AttackOptions)
+    max_steps: int = 20_000_000
+
+    #: ScenarioProbes are JSON round-trippable; scenario grids cache warm.
+    cacheable = True
+
+    def __post_init__(self) -> None:
+        if self.attack not in ATTACK_KINDS:
+            raise ConfigError(
+                f"unknown attack {self.attack!r}; "
+                f"choose from {sorted(ATTACK_KINDS)}"
+            )
+
+    @classmethod
+    def build(
+        cls,
+        attack: str,
+        victim: str,
+        secret: int,
+        system: SystemConfig | None = None,
+        **option_overrides,
+    ) -> "ScenarioJob":
+        """Job with victim geometry and attack defaults resolved in.
+
+        The victim dictates the probe-array size its index map assumes;
+        the attack class's own option defaults fill the rest, exactly as
+        :meth:`AttackJob.build` does.
+        """
+        from repro.workloads.crypto import get_victim
+
+        descriptor = get_victim(victim)
+        if not 0 <= secret < descriptor.secret_space:
+            raise ConfigError(
+                f"secret {secret} outside victim {victim!r} space "
+                f"0..{descriptor.secret_space - 1}"
+            )
+        inner = AttackJob.build(
+            attack,
+            system,
+            victim=victim,
+            secret=secret,
+            num_indices=descriptor.num_indices,
+            **option_overrides,
+        )
+        return cls(attack=inner.attack, system=inner.system, options=inner.options)
+
+    def key(self) -> str:
+        return job_key(self)
+
+    def run(self) -> ScenarioProbe:
+        from repro.workloads.crypto import get_victim
+
+        outcome = AttackJob(
+            attack=self.attack,
+            system=self.system,
+            options=self.options,
+            max_steps=self.max_steps,
+        ).run()
+        expected = get_victim(self.options.victim).expected_indices(
+            self.options.secret, self.options
+        )
+        candidates = outcome.candidates
+        return ScenarioProbe(
+            attack=self.attack,
+            victim=self.options.victim,
+            challenges=outcome.challenges,
+            secret=self.options.secret,
+            expected=list(expected),
+            candidates=list(candidates),
+            latencies=list(outcome.latencies),
+            succeeded=set(candidates) == set(expected),
+            cycles=outcome.run_result.cycles,
+            defense_stats=[
+                dict(stats) for stats in outcome.run_result.defense_stats
+            ],
         )

@@ -2,7 +2,8 @@
 
 One file per job key under ``benchmarks/results/cache/`` (or any directory
 you point a :class:`ResultStore` at).  Each file records the key-schema
-version, the result's type (``SimResult`` or ``AttackProbe``), the job's
+version, the result's type (``SimResult``, ``AttackProbe`` or
+``ScenarioProbe``), the job's
 full fingerprint (so a human can see exactly which configuration produced
 it) and the result payload.  A version bump, an unreadable file, a key
 mismatch or an unknown result type all degrade to a cache miss — the store
@@ -22,7 +23,13 @@ import os
 import pathlib
 
 from repro.errors import ConfigError
-from repro.runner.job import KEY_VERSION, AttackProbe, SimResult, fingerprint
+from repro.runner.job import (
+    KEY_VERSION,
+    AttackProbe,
+    ScenarioProbe,
+    SimResult,
+    fingerprint,
+)
 
 #: CLI default, relative to the invocation directory (documented in
 #: ``python -m repro --help``); benchmarks/conftest.py creates it.
@@ -34,6 +41,7 @@ DEFAULT_CACHE_DIR = pathlib.Path("benchmarks") / "results" / "cache"
 RESULT_TYPES = {
     "SimResult": SimResult,
     "AttackProbe": AttackProbe,
+    "ScenarioProbe": ScenarioProbe,
 }
 
 

@@ -1,0 +1,290 @@
+"""Crypto victim models: secret-dependent table lookups on the ISA builder.
+
+The paper's Tables IV-VI demonstrate PREFENDER on synthetic probe kernels,
+but the defense's real target is the secret-indexed table lookup at the
+heart of software crypto (related defenses — the Scheduling-Aware Defense,
+PCG — are evaluated exactly there).  Each victim here is a phase-2 program
+fragment that drops into any registered attack in place of the paper's
+single "direct" access: the attacker prepares the probe array, the victim
+performs its secret-dependent lookups, and the attacker measures.
+
+Every victim documents three things:
+
+* **secret** — which value the attacker tries to recover, and its width
+  (``secret_space`` values; nibble-sized by default so mutual-information
+  scores have a known ceiling of ``log2(secret_space)`` bits);
+* **footprint** — :meth:`CryptoVictim.expected_indices` maps a secret to
+  the exact probe-array indices the victim touches, which is what the
+  leakage scorer compares candidate sets against;
+* **scale/noise parameterisation** — the lookup stride is
+  ``AttackOptions.scale`` (the paper's 0x200 by default) and benign-noise
+  interleaving comes from ``AttackOptions.noise_c3``/``noise_loads``, so
+  one victim definition covers the whole challenge grid.
+
+All victims load their secret from ``AttackLayout.secret_addr`` (written
+by every attack's data segment), so the index register is ``NA`` under
+Table III and the final multiply by ``scale`` gives the lookup the scale
+the Scale Tracker keys on — the same dataflow shape as real table lookups
+compiled from ``table[secret_dependent_index]``.
+
+Victim table (see also docs/architecture.md "Victims & scenarios"):
+
+=============  ====================================================================
+name           secret and access footprint
+=============  ====================================================================
+direct         the paper's victim: one access at index ``secret``
+aes-ttable     first AES round, 4 scaled-down T-tables of 16 lines: key
+               nibble ``k`` and known plaintext nibbles ``pt`` touch
+               ``16*t + (pt[t] ^ k)`` for each table ``t``
+rsa-sqmul      square-and-multiply window (4 exponent bits): the square
+               always touches index 40; the multiply for exponent bit
+               ``i`` touches ``8*i`` iff the bit is set
+ecdsa-window   windowed scalar multiplication: two 2-bit windows of the
+               secret each look up the shared 4-line precomputed-point
+               table at ``16 + v``
+=============  ====================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.attacks.layout import AttackLayout, AttackOptions
+from repro.errors import ConfigError
+from repro.isa.builder import ProgramBuilder
+
+EmitFn = Callable[[ProgramBuilder, AttackLayout, AttackOptions], None]
+FootprintFn = Callable[[int, AttackOptions], tuple[int, ...]]
+
+CRYPTO_VICTIMS: dict[str, "CryptoVictim"] = {}
+
+
+@dataclass(frozen=True)
+class CryptoVictim:
+    """One victim model: emitter + secret semantics + access footprint.
+
+    Attributes:
+        name: registry key (``AttackOptions.victim``).
+        description: one-line summary for tables and ``--help``.
+        secret_space: number of meaningful secret values; trial secrets are
+            drawn from ``range(secret_space)``.
+        num_indices: probe-array size the victim's index map assumes (the
+            scenario grid passes it into :class:`AttackOptions`).
+        emit: phase-2 program fragment (victim's lookups).
+        footprint: secret -> touched probe indices (sorted, deduplicated).
+    """
+
+    name: str
+    description: str
+    secret_space: int
+    num_indices: int
+    emit: EmitFn = field(compare=False)
+    footprint: FootprintFn = field(compare=False)
+
+    def expected_indices(self, secret: int, options: AttackOptions) -> tuple[int, ...]:
+        """The probe indices this victim touches for ``secret``."""
+        return tuple(sorted(set(self.footprint(secret, options))))
+
+    def trial_secrets(self, count: int) -> tuple[int, ...]:
+        """``count`` deterministic, evenly spaced secrets from the space."""
+        if count <= 0:
+            raise ConfigError(f"need at least one trial secret, got {count}")
+        count = min(count, self.secret_space)
+        return tuple(self.secret_space * i // count for i in range(count))
+
+
+def register_victim(victim: CryptoVictim) -> CryptoVictim:
+    if victim.name in CRYPTO_VICTIMS:
+        raise ConfigError(f"duplicate crypto victim {victim.name!r}")
+    CRYPTO_VICTIMS[victim.name] = victim
+    return victim
+
+
+def get_victim(name: str) -> CryptoVictim:
+    if name not in CRYPTO_VICTIMS:
+        raise ConfigError(
+            f"unknown victim {name!r}; available: {sorted(CRYPTO_VICTIMS)}"
+        )
+    return CRYPTO_VICTIMS[name]
+
+
+def victim_names() -> list[str]:
+    return sorted(CRYPTO_VICTIMS)
+
+
+# -- shared emission helpers ---------------------------------------------------
+
+
+def _emit_secret_load(builder: ProgramBuilder, layout: AttackLayout) -> None:
+    """r10 <- secret (from memory, so it is ``NA`` under Table III)."""
+    builder.li("r1", layout.probe_base)
+    builder.li("r11", layout.secret_addr)
+    builder.load("r10", 0, "r11")
+
+
+def _emit_indexed_lookup(
+    builder: ProgramBuilder, options: AttackOptions, index_reg: str
+) -> None:
+    """Load ``probe_base + index_reg * scale`` (r1 holds probe_base).
+
+    ``index_reg`` is NA with scale 1 at this point, so the multiply gives
+    the address register scale ``options.scale`` — the Scale Tracker's
+    trigger shape for a table lookup.
+    """
+    builder.mul("r4", index_reg, options.scale)
+    builder.add("r5", "r1", "r4")
+    builder.load("r6", 0, "r5")
+
+
+# -- direct (the paper's victim) -----------------------------------------------
+
+
+def _emit_direct(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    # Late import: snippets has no module-level dependency on this module
+    # (it resolves victims lazily), so this direction is cycle-free too.
+    from repro.attacks.snippets import emit_victim_direct
+
+    emit_victim_direct(builder, layout, options)
+
+
+register_victim(
+    CryptoVictim(
+        name="direct",
+        description="paper's phase-2 victim: one access at index `secret`",
+        secret_space=96,
+        num_indices=96,
+        emit=_emit_direct,
+        footprint=lambda secret, options: (secret,),
+    )
+)
+
+
+# -- AES first-round T-table lookups -------------------------------------------
+
+AES_TABLES = 4
+AES_TABLE_LINES = 16  # power of two: in-program masking needs no modulo
+#: Known plaintext nibbles (one per T-table), as in a chosen-plaintext
+#: first-round attack; the key nibble is the secret.
+AES_PLAINTEXT = (3, 7, 12, 9)
+
+
+def _emit_aes(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    _emit_secret_load(builder, layout)
+    for table, plaintext in enumerate(AES_PLAINTEXT):
+        builder.xor("r12", "r10", plaintext)  # pt ^ k  (NA, scale 1)
+        builder.and_("r12", "r12", AES_TABLE_LINES - 1)
+        builder.add("r12", "r12", table * AES_TABLE_LINES)
+        _emit_indexed_lookup(builder, options, "r12")
+
+
+def _aes_footprint(secret: int, options: AttackOptions) -> tuple[int, ...]:
+    key = secret & (AES_TABLE_LINES - 1)
+    return tuple(
+        table * AES_TABLE_LINES + ((plaintext ^ key) & (AES_TABLE_LINES - 1))
+        for table, plaintext in enumerate(AES_PLAINTEXT)
+    )
+
+
+register_victim(
+    CryptoVictim(
+        name="aes-ttable",
+        description="AES first round: key nibble indexes 4 T-tables",
+        secret_space=AES_TABLE_LINES,
+        num_indices=AES_TABLES * AES_TABLE_LINES,
+        emit=_emit_aes,
+        footprint=_aes_footprint,
+    )
+)
+
+
+# -- RSA square-and-multiply ---------------------------------------------------
+
+RSA_EXP_BITS = 4
+RSA_SQUARE_INDEX = 40
+RSA_MUL_STRIDE = 8  # multiply lookups at 0, 8, 16, 24
+
+
+def _emit_rsa(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    _emit_secret_load(builder, layout)
+    for bit in range(RSA_EXP_BITS):
+        builder.srl("r12", "r10", bit)
+        builder.and_("r12", "r12", 1)  # exponent bit (NA, scale 1)
+        # Square: unconditional working-state access (same line every bit);
+        # the index is derived from the NA secret register so the access
+        # keeps the table-lookup dataflow shape.
+        builder.xor("r13", "r12", "r12")  # value 0, still NA
+        builder.add("r13", "r13", RSA_SQUARE_INDEX)
+        _emit_indexed_lookup(builder, options, "r13")
+        # Multiply: only when exponent bit `bit` is set — the classic
+        # square-and-multiply leak.
+        skip = builder.fresh_label(f"rsab{bit}")
+        builder.beq("r12", "zero", skip)
+        builder.add("r13", "r12", bit * RSA_MUL_STRIDE - 1)  # NA, value 8*bit
+        _emit_indexed_lookup(builder, options, "r13")
+        builder.label(skip)
+
+
+def _rsa_footprint(secret: int, options: AttackOptions) -> tuple[int, ...]:
+    indices = [RSA_SQUARE_INDEX]
+    for bit in range(RSA_EXP_BITS):
+        if (secret >> bit) & 1:
+            indices.append(bit * RSA_MUL_STRIDE)
+    return tuple(indices)
+
+
+register_victim(
+    CryptoVictim(
+        name="rsa-sqmul",
+        description="square-and-multiply: set exponent bits add a lookup",
+        secret_space=1 << RSA_EXP_BITS,
+        num_indices=48,
+        emit=_emit_rsa,
+        footprint=_rsa_footprint,
+    )
+)
+
+
+# -- ECDSA-style windowed scalar multiplication --------------------------------
+
+ECDSA_WINDOW_BITS = 2
+ECDSA_WINDOWS = 2
+ECDSA_TABLE_BASE = 16  # the shared 4-line precomputed-point table
+
+
+def _emit_ecdsa(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    _emit_secret_load(builder, layout)
+    mask = (1 << ECDSA_WINDOW_BITS) - 1
+    for window in range(ECDSA_WINDOWS):
+        builder.srl("r12", "r10", window * ECDSA_WINDOW_BITS)
+        builder.and_("r12", "r12", mask)  # window value (NA, scale 1)
+        builder.add("r12", "r12", ECDSA_TABLE_BASE)
+        _emit_indexed_lookup(builder, options, "r12")
+
+
+def _ecdsa_footprint(secret: int, options: AttackOptions) -> tuple[int, ...]:
+    mask = (1 << ECDSA_WINDOW_BITS) - 1
+    return tuple(
+        ECDSA_TABLE_BASE + ((secret >> window * ECDSA_WINDOW_BITS) & mask)
+        for window in range(ECDSA_WINDOWS)
+    )
+
+
+register_victim(
+    CryptoVictim(
+        name="ecdsa-window",
+        description="windowed scalar mult: 2-bit windows share one table",
+        secret_space=1 << (ECDSA_WINDOW_BITS * ECDSA_WINDOWS),
+        num_indices=32,
+        emit=_emit_ecdsa,
+        footprint=_ecdsa_footprint,
+    )
+)

@@ -148,3 +148,59 @@ def test_resident_blocks():
     cache.access(0x0, now=0)
     cache.access(0x1000, now=200)
     assert set(cache.resident_blocks()) == {0x0, 0x1000}
+
+
+def test_squashed_prefetch_fill_is_cancelled():
+    """Demand-priority squash abandons the in-flight prefetched line: the
+    line inserted at issue time is removed again, so later probes miss
+    instead of seeing a fill the MSHR file claims was abandoned."""
+    amap = AddressMap()
+    memory = MainMemory(latency=100)
+    cache = Cache(
+        "L1D0", size=1024, assoc=2, amap=amap, hit_latency=4,
+        parent=MemoryPort(memory), mshr_entries=1,
+    )
+    assert cache.prefetch(0x40, now=0, component="st") is not None
+    assert cache.contains(0x40)
+    cache.access(0x1000, now=0)  # fills the single demand MSHR
+    cache.access(0x2000, now=1)  # demand pool full: squashes the prefetch
+    assert cache.mshr.prefetch_squashes == 1
+    assert cache.stats.prefetch_squashed == 1
+    assert not cache.contains(0x40), "cancelled fill still in the cache"
+    # The same line prefetched again afterwards behaves normally.
+    assert cache.prefetch(0x40, now=500, component="st") is not None
+
+
+def test_demand_consumed_inflight_prefetch_survives_squash():
+    """A demand load that inflight-hit a prefetch fill pins it: a later
+    demand-priority squash must not cancel the line the load was promised."""
+    amap = AddressMap()
+    memory = MainMemory(latency=100)
+    cache = Cache(
+        "L1D0", size=1024, assoc=2, amap=amap, hit_latency=4,
+        parent=MemoryPort(memory), mshr_entries=1,
+    )
+    cache.prefetch(0x40, now=0, component="st")   # in flight until ~104
+    latency, level = cache.access(0x40, now=50)   # demand consumes the fill
+    assert level == "INFLIGHT" and latency > 4
+    cache.access(0x1000, now=60)  # fills the single demand MSHR
+    cache.access(0x2000, now=61)  # full demand pool: nothing squashable
+    assert cache.mshr.prefetch_squashes == 0
+    assert cache.stats.prefetch_squashed == 0
+    assert cache.contains(0x40), "promised fill was cancelled"
+
+
+def test_squash_leaves_landed_prefetch_lines_alone():
+    """Only *in-flight* fills are cancelled; a prefetch whose data already
+    arrived stays resident even when its (already purged) slot is reused."""
+    amap = AddressMap()
+    memory = MainMemory(latency=100)
+    cache = Cache(
+        "L1D0", size=1024, assoc=2, amap=amap, hit_latency=4,
+        parent=MemoryPort(memory), mshr_entries=1,
+    )
+    cache.prefetch(0x40, now=0, component="st")  # ready at 104
+    cache.access(0x1000, now=200)
+    cache.access(0x2000, now=201)  # demand pool full, but no prefetch entry
+    assert cache.mshr.prefetch_squashes == 0
+    assert cache.contains(0x40)

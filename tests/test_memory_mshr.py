@@ -81,10 +81,60 @@ def test_mshr_prefetch_pool_is_separate():
     # Prefetch pool now full.
     assert mshr.allocate_prefetch(0x80, now=0, fill_time=100) is None
     assert mshr.prefetch_drops == 1
-    # Demand pool full too: a new demand waits (prefetches don't block it
-    # from *allocating*; the demand budget is what it waits on).
+    # Demand pool full too: the new demand squashes the outstanding
+    # prefetch (demand priority) and starts immediately in its slot.
     start, _ = mshr.allocate_demand(0xC0, now=0, fill_time=100)
-    assert start == 100
+    assert start == 0
+    assert mshr.prefetch_squashes == 1
+    assert mshr.demand_waits == 0
+
+
+def test_mshr_demand_squashes_earliest_ready_prefetch():
+    """Demand priority: a full demand pool evicts the earliest-ready
+    prefetch entry instead of waiting (the docstring's promise; the seed
+    code only ever waited and never incremented ``prefetch_squashes``)."""
+    mshr = MSHRFile(num_entries=1, prefetch_entries=2)
+    mshr.allocate_demand(0x0, now=0, fill_time=100)
+    mshr.allocate_prefetch(0x40, now=0, fill_time=80)   # ready at 80
+    mshr.allocate_prefetch(0x80, now=0, fill_time=120)  # ready at 120
+    start, ready = mshr.allocate_demand(0xC0, now=10, fill_time=100)
+    assert (start, ready) == (10, 110)  # no wait: borrowed the squashed slot
+    assert mshr.prefetch_squashes == 1
+    assert mshr.last_squashed_block == 0x40  # cache cancels this fill
+    assert mshr.demand_waits == 0 and mshr.total_wait_cycles == 0
+    # The earliest-ready prefetch (0x40 @ 80) was the one squashed.
+    inflight = [e.block_addr for e in mshr._entries if e.is_prefetch]
+    assert inflight == [0x80]
+    # The borrowed slot stays physically occupied until the demand fill
+    # completes (at 110); the other prefetch entry drains at 120.
+    assert not mshr.prefetch_available(10)
+    assert mshr.prefetch_available(115)
+
+
+def test_mshr_demand_waits_only_without_prefetch_victims():
+    mshr = MSHRFile(num_entries=1, prefetch_entries=1)
+    mshr.allocate_demand(0x0, now=0, fill_time=100)
+    start, _ = mshr.allocate_demand(0x40, now=0, fill_time=100)
+    assert start == 100  # nothing to squash: waits as before
+    assert mshr.demand_waits == 1
+    assert mshr.prefetch_squashes == 0
+    assert mshr.last_squashed_block is None
+
+
+def test_mshr_borrowed_slot_does_not_occupy_the_demand_pool():
+    """A borrowed-slot demand fill lives in the prefetch pool: once a real
+    demand slot drains, the next demand must start immediately rather than
+    paying a spurious wait against the borrower."""
+    mshr = MSHRFile(num_entries=1, prefetch_entries=1)
+    mshr.allocate_demand(0x0, now=0, fill_time=100)       # ready at 100
+    mshr.allocate_prefetch(0x40, now=0, fill_time=100)
+    mshr.allocate_demand(0x80, now=10, fill_time=100)     # squash: ready 110
+    # At 105 the real demand slot (0x0) has drained; the borrower (0x80,
+    # ready 110) occupies the prefetch slot only.
+    assert mshr.available(105)
+    start, _ = mshr.allocate_demand(0xC0, now=105, fill_time=100)
+    assert start == 105
+    assert mshr.demand_waits == 0
 
 
 def test_mshr_prefetch_fill_never_drops():
@@ -100,6 +150,29 @@ def test_mshr_availability_queries():
     assert mshr.prefetch_available(0)
     mshr.allocate_demand(0, 0, 100)
     mshr.allocate_prefetch(64, 0, 100)
-    assert not mshr.available(50)
+    # Demand pool full, but the prefetch entry is squashable — a demand
+    # would start immediately, and available() mirrors that contract.
+    assert mshr.available(50)
     assert not mshr.prefetch_available(50)
+    # Once a demand consumes the prefetch's fill it is unsquashable, so a
+    # new demand really would wait.
+    mshr.mark_demand_consumed(64, 50)
+    assert not mshr.available(50)
     assert mshr.available(150) and mshr.prefetch_available(150)
+
+
+def test_mshr_demand_consumed_prefetch_is_unsquashable():
+    """A prefetch fill a demand load already merged into must not be the
+    squash victim: the load's charged latency depends on it landing."""
+    mshr = MSHRFile(num_entries=1, prefetch_entries=2)
+    mshr.allocate_demand(0x0, now=0, fill_time=100)
+    mshr.allocate_prefetch(0x40, now=0, fill_time=80)   # would be earliest
+    mshr.allocate_prefetch(0x80, now=0, fill_time=120)
+    assert mshr.merge(0x40, now=5) == 80  # demand merge pins 0x40
+    start, _ = mshr.allocate_demand(0xC0, now=10, fill_time=100)
+    assert start == 10
+    assert mshr.last_squashed_block == 0x80, "pinned entry was victimized"
+    # With every remaining prefetch entry pinned, the next demand waits.
+    start, _ = mshr.allocate_demand(0x100, now=20, fill_time=100)
+    assert start == 100  # waited for the 0x0 demand fill
+    assert mshr.demand_waits == 1

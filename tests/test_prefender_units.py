@@ -380,6 +380,56 @@ def test_rp_unprotects_after_idle():
     assert not buffer.protected
 
 
+def test_rp_idle_expiry_sweeps_quiescent_pcs():
+    """The headline regression: PC-A gets protected, then never loads
+    again.  Only PC-B keeps executing, so ``guidance_for`` never sees A's
+    buffer — on the seed code A's idle deadline could therefore never
+    fire, its protection was eternal, and with every buffer protected
+    ``AccessTracker._allocate_new`` returned None forever.  The sweep on
+    each observe must expire A once PC-B's loads advance time past
+    ``unprotect_idle_cycles``, making the buffer LRU-replaceable again."""
+    tracker = make_tracker(buffers=1)
+    rp = RecordProtector(unprotect_idle_cycles=100)
+    rp.record_scale(0x200, 0x1000)
+    tracker.observe_load(obs(0x1000, pc=0xA, now=0), absent)
+    rp.guidance_for(obs(0x1200, pc=0xA, now=0), tracker)
+    buffer_a = tracker.buffer_for_pc(0xA)
+    assert buffer_a.protected
+    # PC-A goes quiescent; PC-B loads (an unrelated pattern) past the idle
+    # deadline.  With the single buffer protected, B cannot allocate.
+    assert tracker.observe_load(obs(0x9000, pc=0xB, now=50), absent) == []
+    assert tracker.allocation_failures == 1
+    rp.guidance_for(obs(0x9000, pc=0xB, now=50), tracker)
+    assert buffer_a.protected, "deadline not reached yet"
+    # ... now past the deadline: the sweep must fire even though PC-A's
+    # buffer is not the one mapped to the loading PC.
+    rp.guidance_for(obs(0x9200, pc=0xB, now=200), tracker)
+    assert not buffer_a.protected, "quiescent PC kept protection forever"
+    assert rp.sweep_unprotections == 1
+    assert rp.unprotections == 1
+    # The freed buffer is LRU-replaceable: PC-B's next load allocates it.
+    tracker.observe_load(obs(0x9200, pc=0xB, now=201), absent)
+    assert tracker.buffer_for_pc(0xB) is not None
+    assert tracker.buffer_for_pc(0xA) is None
+
+
+def test_rp_sweep_skips_buffers_unprotected_elsewhere():
+    """Stale sweep-index entries (buffers reset or expired by the per-PC
+    path) are dropped lazily without double-counting expirations."""
+    tracker = make_tracker(buffers=2)
+    rp = RecordProtector(unprotect_prefetch_limit=1, unprotect_idle_cycles=100)
+    rp.record_scale(0x200, 0x1000)
+    tracker.observe_load(obs(0x1000, pc=0xA, now=0), absent)
+    rp.guidance_for(obs(0x1200, pc=0xA, now=0), tracker)
+    buffer = tracker.buffer_for_pc(0xA)
+    buffer.guided_prefetches = 1
+    rp.expire_stale_protection(buffer, now=1)  # per-PC prefetch-limit expiry
+    assert not buffer.protected and rp.unprotections == 1
+    assert rp.sweep_idle_protection(now=10_000) == 0
+    assert rp.sweep_unprotections == 0
+    assert rp.unprotections == 1
+
+
 # --- assembled PREFENDER ----------------------------------------------------------------
 
 def test_prefender_config_validation():

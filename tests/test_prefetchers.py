@@ -60,12 +60,20 @@ def test_tagged_tag_capacity():
 
 
 def test_stride_needs_confidence():
+    """Baer & Chen gating: issue only from an *already steady* entry.
+
+    The delta must match twice (transient -> steady) before the third
+    matching delta issues the first prefetch; the pre-fix code issued on
+    the second matching delta, leaving the ``confident`` flag write-only.
+    """
     stride = StridePrefetcher(distance=1)
     pc = 0x400100
     assert stride.observe(obs(0x1000, pc=pc), never_contains) == []
     assert stride.observe(obs(0x1200, pc=pc), never_contains) == []  # learn
-    requests = stride.observe(obs(0x1400, pc=pc), never_contains)  # confident
-    assert [r.addr for r in requests] == [0x1600]
+    # Second matching delta: steady now, but not yet confident *before* it.
+    assert stride.observe(obs(0x1400, pc=pc), never_contains) == []
+    requests = stride.observe(obs(0x1600, pc=pc), never_contains)  # steady
+    assert [r.addr for r in requests] == [0x1800]
 
 
 def test_stride_resets_on_changed_stride():
@@ -83,7 +91,8 @@ def test_stride_per_pc_isolation():
     stride.observe(obs(0x2000, pc=2), never_contains)
     stride.observe(obs(0x1200, pc=1), never_contains)
     stride.observe(obs(0x2200, pc=2), never_contains)
-    assert stride.observe(obs(0x1400, pc=1), never_contains) != []
+    stride.observe(obs(0x1400, pc=1), never_contains)  # pc 1 now steady
+    assert stride.observe(obs(0x1600, pc=1), never_contains) != []
 
 
 def test_stride_ignores_huge_strides():
@@ -102,7 +111,8 @@ def test_composite_priority_order():
     pc = 0x400100
     composite.observe(obs(0x1000, pc=pc), never_contains)
     composite.observe(obs(0x1200, pc=pc), never_contains)
-    requests = composite.observe(obs(0x1400, pc=pc), never_contains)
+    composite.observe(obs(0x1400, pc=pc), never_contains)  # stride steady
+    requests = composite.observe(obs(0x1600, pc=pc), never_contains)
     # Primary (stride) requests come first.
     assert requests[0].component == "stride"
     assert any(r.component == "tagged" for r in requests)

@@ -142,8 +142,14 @@ def test_mshr_occupancy_bounded(events):
             mshr.allocate_demand(now * 64, now, 100)
         demand = sum(1 for e in mshr._entries if not e.is_prefetch)
         inflight = sum(1 for e in mshr._entries if e.is_prefetch)
-        assert demand <= 4
-        assert inflight <= 2
+        borrowed = sum(1 for e in mshr._entries if e.borrows_prefetch_slot)
+        # A demand miss may borrow a squashed prefetch's slot (demand
+        # priority); the borrowed slot stays occupied until that fill
+        # completes, so the file's physical footprint never exceeds the
+        # combined pools and the prefetch pool is never oversubscribed.
+        assert demand + inflight <= 4 + 2
+        assert demand - borrowed <= 4
+        assert inflight + borrowed <= 2
 
 
 # --- cache --------------------------------------------------------------------------------

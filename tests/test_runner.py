@@ -387,6 +387,31 @@ def test_sim_result_json_roundtrip():
     assert dataclasses.asdict(again) == dataclasses.asdict(result)
 
 
+def test_sim_result_exports_defense_stats():
+    """AT/RP internals (allocation_failures, protection lifecycle) must
+    survive into the JSON-able result so Fig. 12-style reporting and the
+    scenario suite can read buffer starvation after the run."""
+    spec = PrefetcherSpec(kind="prefender", prefender=PrefenderConfig.full(8))
+    result = SimJob(
+        workload="462.libquantum", scale=0.1, system=common.perf_config(spec)
+    ).run()
+    assert len(result.defense_stats) == 1
+    stats = result.defense_stats[0]
+    for key in (
+        "allocation_failures",
+        "protections",
+        "unprotections",
+        "sweep_unprotections",
+        "protected_buffers",
+    ):
+        assert key in stats, key
+    again = SimResult.from_json(result.to_json())
+    assert again.defense_stats == result.defense_stats
+    # Baseline runs carry an empty per-core dict, not a missing field.
+    baseline = SimJob(workload="999.specrand", scale=0.05).run()
+    assert baseline.defense_stats == [{}]
+
+
 def test_sim_job_rejects_non_positive_scale():
     with pytest.raises(ConfigError):
         SimJob(workload="999.specrand", scale=0.0)

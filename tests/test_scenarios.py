@@ -1,0 +1,248 @@
+"""Crypto victims, the scenario registry and leakage scoring."""
+
+import pytest
+
+from repro.attacks import leakage, scenarios
+from repro.attacks.layout import AttackOptions
+from repro.errors import ConfigError
+from repro.runner import ScenarioJob, ScenarioProbe, run_batch
+from repro.sim.config import SystemConfig
+from repro.workloads.crypto import (
+    AES_PLAINTEXT,
+    AES_TABLE_LINES,
+    RSA_SQUARE_INDEX,
+    CRYPTO_VICTIMS,
+    get_victim,
+    victim_names,
+)
+
+
+# --- victim registry ---------------------------------------------------------------
+
+
+def test_registry_has_all_victims():
+    assert {"direct", "aes-ttable", "rsa-sqmul", "ecdsa-window"} <= set(
+        victim_names()
+    )
+    with pytest.raises(ConfigError):
+        get_victim("des-sbox")
+
+
+def test_victim_footprints_fit_probe_array():
+    """Every secret's footprint stays inside the victim's probe array."""
+    for victim in CRYPTO_VICTIMS.values():
+        options = AttackOptions(
+            secret=0, num_indices=victim.num_indices, victim=victim.name
+        )
+        for secret in range(victim.secret_space):
+            expected = victim.expected_indices(secret, options)
+            assert expected, (victim.name, secret)
+            assert all(0 <= index < victim.num_indices for index in expected)
+
+
+def test_aes_footprint_shape():
+    victim = get_victim("aes-ttable")
+    options = AttackOptions(secret=0, num_indices=victim.num_indices)
+    expected = victim.expected_indices(5, options)
+    assert len(expected) == len(AES_PLAINTEXT)  # one line per T-table
+    tables = sorted(index // AES_TABLE_LINES for index in expected)
+    assert tables == list(range(len(AES_PLAINTEXT)))
+    assert (AES_PLAINTEXT[0] ^ 5) in expected
+
+
+def test_rsa_footprint_encodes_exponent_bits():
+    victim = get_victim("rsa-sqmul")
+    options = AttackOptions(secret=0, num_indices=victim.num_indices)
+    assert victim.expected_indices(0, options) == (RSA_SQUARE_INDEX,)
+    assert victim.expected_indices(0b0101, options) == (0, 16, RSA_SQUARE_INDEX)
+
+
+def test_ecdsa_footprint_window_collision():
+    victim = get_victim("ecdsa-window")
+    options = AttackOptions(secret=0, num_indices=victim.num_indices)
+    # Windows (2, 2) collapse to one table line; (1, 3) touch two.
+    assert victim.expected_indices(0b1010, options) == (18,)
+    assert victim.expected_indices(0b1101, options) == (17, 19)
+
+
+def test_trial_secrets_deterministic_and_spaced():
+    victim = get_victim("aes-ttable")
+    assert victim.trial_secrets(4) == (0, 4, 8, 12)
+    assert victim.trial_secrets(99) == tuple(range(16))  # clamped to space
+    with pytest.raises(ConfigError):
+        victim.trial_secrets(0)
+
+
+def test_crypto_victim_requires_direct_mode():
+    with pytest.raises(ConfigError):
+        AttackOptions(victim="aes-ttable", victim_mode="spectre")
+    with pytest.raises(ConfigError):
+        AttackOptions(victim="")
+
+
+# --- leakage scoring ----------------------------------------------------------------
+
+
+def test_mutual_information_extremes():
+    secrets = [0, 1, 2, 3]
+    distinct = [(0,), (1,), (2,), (3,)]
+    constant = [(7,), (7,), (7,), (7,)]
+    assert leakage.mutual_information_bits(secrets, distinct) == pytest.approx(2.0)
+    assert leakage.mutual_information_bits(secrets, constant) == 0.0
+    # Two secrets per observable class: half the secret leaks.
+    paired = [(0,), (0,), (1,), (1,)]
+    assert leakage.mutual_information_bits(secrets, paired) == pytest.approx(1.0)
+
+
+def test_mutual_information_validates_lengths():
+    with pytest.raises(ConfigError):
+        leakage.mutual_information_bits([0, 1], [(0,)])
+
+
+def _probe(secret, candidates, succeeded):
+    return ScenarioProbe(
+        attack="flush-reload",
+        victim="direct",
+        challenges="C1+C2",
+        secret=secret,
+        expected=[secret],
+        candidates=candidates,
+        latencies=[0] * 4,
+        succeeded=succeeded,
+        cycles=1000,
+        defense_stats=[{"allocation_failures": 3}],
+    )
+
+
+def test_score_trials():
+    probes = [_probe(0, [0], True), _probe(1, [1], True), _probe(2, [0], False)]
+    score = leakage.score_trials(probes)
+    assert score.trials == 3
+    assert score.success_rate == pytest.approx(2 / 3)
+    assert 0.0 < score.mi_bits <= score.mi_ceiling_bits
+    with pytest.raises(ConfigError):
+        leakage.score_trials([])
+
+
+def test_scenario_probe_json_roundtrip():
+    probe = _probe(5, [5, 6], False)
+    assert ScenarioProbe.from_json(probe.to_json()) == probe
+
+
+# --- scenario jobs & registry -------------------------------------------------------
+
+
+def test_scenario_job_build_validates():
+    with pytest.raises(ConfigError):
+        ScenarioJob.build("flush-reload", "no-such-victim", 0)
+    with pytest.raises(ConfigError):
+        ScenarioJob.build("flush-reload", "aes-ttable", 16)  # space is 0..15
+    with pytest.raises(ConfigError):
+        ScenarioJob(attack="no-such-attack")
+
+
+def test_scenario_job_keys_cover_victim_and_secret():
+    base = ScenarioJob.build("flush-reload", "aes-ttable", 1)
+    assert base.key() != ScenarioJob.build("flush-reload", "aes-ttable", 2).key()
+    assert base.key() != ScenarioJob.build("flush-reload", "rsa-sqmul", 1).key()
+    assert base.key() != ScenarioJob.build("evict-reload", "aes-ttable", 1).key()
+
+
+def test_build_grid_shape_and_validation():
+    specs, jobs = scenarios.build_grid(
+        ("aes-ttable",), ("flush-reload", "evict-reload"), ("Base", "FULL"), 2
+    )
+    assert len(specs) == 4
+    assert len(jobs) == 8  # 2 trial secrets per cell, grouped by cell
+    assert jobs[0].options.victim == "aes-ttable"
+    assert jobs[0].options.num_indices == get_victim("aes-ttable").num_indices
+    with pytest.raises(ConfigError):
+        scenarios.build_grid((), ("flush-reload",), ("Base",), 2)
+    with pytest.raises(ConfigError):
+        scenarios.build_grid(("aes-ttable",), ("bogus",), ("Base",), 2)
+    with pytest.raises(ConfigError):
+        scenarios.build_grid(("aes-ttable",), ("flush-reload",), ("Bogus",), 2)
+
+
+def test_slice_trials_handles_mixed_secret_spaces():
+    """Victims with different effective trial counts (trial_secrets clamps
+    to each victim's secret space) must never bleed probes across cells."""
+    victims = ("ecdsa-window", "direct")  # spaces 16 and 96
+    secrets = 20  # ecdsa clamps to 16 trials; direct keeps all 20
+    specs, jobs = scenarios.build_grid(victims, ("flush-reload",), ("Base",), secrets)
+    assert [job.options.victim for job in jobs] == ["ecdsa-window"] * 16 + [
+        "direct"
+    ] * 20
+    fake = [
+        _probe(job.options.secret, [job.options.secret], True) for job in jobs
+    ]
+    for probe, job in zip(fake, jobs):
+        probe.victim = job.options.victim
+    cells = scenarios.slice_trials(specs, fake, secrets)
+    assert [cell.spec.victim for cell in cells] == ["ecdsa-window", "direct"]
+    assert [cell.score.trials for cell in cells] == [16, 20]
+    assert all(
+        probe.victim == cell.spec.victim
+        for cell in cells
+        for probe in cell.probes
+    )
+    with pytest.raises(ConfigError):
+        scenarios.slice_trials(specs, fake[:-1], secrets)
+
+
+def test_scenario_parallel_matches_sequential():
+    """Registry smoke: the grid through the runner is byte-identical
+    between sequential and 2-worker parallel execution."""
+    _, jobs = scenarios.build_grid(
+        ("ecdsa-window",), ("flush-reload",), ("Base", "FULL"), 2
+    )
+    sequential = run_batch(jobs, workers=1)
+    parallel = run_batch(jobs, workers=2)
+    assert sequential == parallel
+    base, full = sequential[:2], sequential[2:]
+    assert all(probe.succeeded for probe in base)
+    assert not any(probe.succeeded for probe in full)
+
+
+def test_scenario_run_and_render_smoke():
+    result = scenarios.run(
+        victims=("ecdsa-window",),
+        attacks=("flush-reload",),
+        defenses=("Base",),
+        secrets=2,
+    )
+    assert len(result.cells) == 1
+    cell = result.cell("ecdsa-window", "flush-reload", "Base")
+    assert cell.score.success_rate == 1.0
+    assert cell.score.mi_bits == pytest.approx(cell.score.mi_ceiling_bits)
+    assert result.victim_success("ecdsa-window", "Base") == 1.0
+    text = scenarios.render(result)
+    assert "ecdsa-window" in text and "Flush+Reload" in text
+
+
+def test_store_roundtrips_scenario_probes(tmp_path):
+    from repro.runner import ResultStore
+
+    job = ScenarioJob.build("flush-reload", "ecdsa-window", 1)
+    store = ResultStore(tmp_path)
+    first = run_batch([job], store=store)
+    assert store.misses == 1 and store.hits == 0
+    again = run_batch([job], store=store)
+    assert store.hits == 1
+    assert first == again
+
+
+def test_scenario_probe_carries_defense_stats():
+    """Buffer starvation is reportable: FULL-defense trials export the
+    Access Tracker counters (the scenario suite's `alloc fails` column)."""
+    probe = ScenarioJob.build(
+        "flush-reload",
+        "aes-ttable",
+        3,
+        SystemConfig(prefetcher=scenarios.defense_spec("FULL")),
+    ).run()
+    assert probe.defense_stats, "defense counters missing from the probe"
+    stats = probe.defense_stats[0]
+    assert "allocation_failures" in stats
+    assert "sweep_unprotections" in stats
+    assert stats["protections"] >= 1
