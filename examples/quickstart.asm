@@ -1,0 +1,28 @@
+; Quickstart assembly program for `python -m repro analyze`.
+;
+;   $ python -m repro analyze examples/quickstart.asm --verbose
+;
+; A small strided reduction over a data segment, written to exercise the
+; assembler's directives (.name/.equ/.data) and to come back clean from
+; every static-analysis rule (AN-BRANCH, AN-FALLOFF, AN-HALT, AN-DEAD,
+; AN-UBD).  Delete the `halt` or the `li r2, ...` below and re-run the
+; analyzer to see line-numbered findings.
+
+.name quickstart
+.equ TABLE 0x10000
+.equ LINES 8
+
+.data 0x10000 stride=64 1 2 3 4 5 6 7 8
+
+start:
+    li   r1, TABLE        ; cursor
+    li   r2, LINES        ; remaining lines
+    li   r3, 0            ; accumulator
+loop:
+    load r4, 0(r1)
+    add  r3, r3, r4
+    add  r1, r1, 64
+    sub  r2, r2, 1
+    bne  r2, zero, loop
+    store r3, 0(r1)       ; one line past the table: statically resolved
+    halt

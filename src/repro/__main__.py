@@ -19,6 +19,10 @@ Commands:
   (single-core victim, dual-core attack, speculative Spectre) and emit
   ``BENCH_sim_throughput.json``; ``--quick`` shrinks the workload for CI
   smoke runs
+* ``analyze``  — static analysis (CFG + dataflow) over ``.asm`` files
+  and/or every built-in workload, crypto victim and attack program
+  (``--builtin``); findings carry source line numbers and rule IDs from
+  :data:`repro.analysis.ANALYSIS_RULES`
 
 Simulation batches go through :mod:`repro.runner`: every run is keyed by a
 content hash over the *full* configuration (workload, scale and every
@@ -327,6 +331,91 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import ANALYSIS_RULES, analyze_program, render_findings
+    from repro.errors import AnalysisError, AssemblyError
+    from repro.isa.assembler import assemble
+
+    if args.list_rules:
+        for rule_id, (severity, description, fixit) in sorted(
+            ANALYSIS_RULES.items()
+        ):
+            print(f"{rule_id}  [{severity}] {description}")
+            print(f"          fix: {fixit}")
+        return 0
+    if not args.paths and not args.builtin:
+        raise ConfigError("analyze needs .asm paths and/or --builtin")
+
+    checked = 0
+    failures = 0
+
+    def report(program) -> None:
+        nonlocal checked, failures
+        checked += 1
+        analysis = program.analysis
+        if analysis is None:
+            analysis = analyze_program(program)
+        if analysis.findings:
+            failures += 1
+            for line in render_findings(program, analysis):
+                print(line)
+        elif args.verbose:
+            print(
+                f"{program.name}: clean ({len(program)} instruction(s), "
+                f"{len(analysis.cfg.blocks)} block(s), "
+                f"{len(analysis.suppressed)} suppressed)"
+            )
+
+    def guarded(build, label: str) -> None:
+        nonlocal checked, failures
+        try:
+            programs = build()
+        except AnalysisError as error:
+            checked += 1
+            failures += 1
+            print(f"{label}: {error}")
+            return
+        for program in programs:
+            report(program)
+
+    if args.builtin:
+        from repro.runner import ATTACK_KINDS as attack_kinds
+        from repro.workloads import get_workload, workload_names
+        from repro.workloads.crypto import get_victim, victim_names
+
+        for name in workload_names():
+            guarded(lambda n=name: [get_workload(n).program()], name)
+        for kind in sorted(attack_kinds):
+            guarded(
+                lambda k=kind: attack_kinds[k]().build_programs(), kind
+            )
+        for victim in victim_names():
+            guarded(
+                lambda v=victim: attack_kinds["flush-reload"](
+                    victim=v,
+                    num_indices=get_victim(v).num_indices,
+                    secret=0,
+                ).build_programs(),
+                f"victim {victim}",
+            )
+
+    for path in args.paths:
+        source = Path(path).read_text(encoding="utf-8")
+        try:
+            program = assemble(source, name=Path(path).stem)
+        except AssemblyError as error:
+            checked += 1
+            failures += 1
+            print(f"{path}: {error}")
+            continue
+        report(program)
+
+    print(f"analyze: {checked} program(s), {failures} with findings")
+    return 1 if failures else 0
+
+
 def _cmd_hwcost(args: argparse.Namespace) -> int:
     print(render_report(estimate(buffers=args.buffers)))
     return 0
@@ -515,6 +604,27 @@ def main(argv: list[str] | None = None) -> int:
         help="report path (default: ./BENCH_sim_throughput.json)",
     )
     bench_cmd.set_defaults(handler=_cmd_bench)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="static analysis (CFG + dataflow) of .asm files and built-ins",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", help="assembly source files to analyze"
+    )
+    analyze.add_argument(
+        "--builtin", action="store_true",
+        help="analyze every built-in workload, attack and crypto victim",
+    )
+    analyze.add_argument(
+        "--verbose", action="store_true",
+        help="also print a line for each clean program",
+    )
+    analyze.add_argument(
+        "--list-rules", action="store_true",
+        help="print the analysis rule catalog and exit",
+    )
+    analyze.set_defaults(handler=_cmd_analyze)
 
     hwcost = commands.add_parser("hwcost", help="Section V-E report")
     hwcost.add_argument("--buffers", type=int, default=32)

@@ -1,0 +1,44 @@
+"""Static analysis over decoded ISA programs.
+
+Two consumers drive this package:
+
+* ``Program.finalize(strict=True)`` — every built-in workload, crypto
+  victim and attacker snippet is analysed at build time, so a branch to
+  nowhere or a guaranteed-infinite loop fails the *build*, not a 20M-step
+  simulation later;
+* ``python -m repro analyze`` — the CLI front-end that reports findings
+  with source line numbers for ``.asm`` files and registered workloads.
+
+The analysis is pure: it reads the decode tuples produced by
+:mod:`repro.isa.decode` and never touches simulator state, so it adds
+zero timing drift (``tests/test_golden_parity.py`` is unaffected).
+
+:class:`ProgramAnalysis` also exports the raw substrate — basic blocks,
+per-register liveness, the static memory footprint — for later consumers
+(the ROADMAP's closure-compiled per-program step functions need exactly
+these).
+"""
+
+from repro.analysis.analyzer import (
+    ANALYSIS_RULES,
+    Finding,
+    ProgramAnalysis,
+    analyze_program,
+    render_findings,
+)
+from repro.analysis.cfg import EXIT, BasicBlock, ControlFlowGraph, build_cfg
+from repro.analysis.footprint import BlockFootprint, SegmentRange
+
+__all__ = [
+    "ANALYSIS_RULES",
+    "BasicBlock",
+    "BlockFootprint",
+    "ControlFlowGraph",
+    "EXIT",
+    "Finding",
+    "ProgramAnalysis",
+    "SegmentRange",
+    "analyze_program",
+    "build_cfg",
+    "render_findings",
+]

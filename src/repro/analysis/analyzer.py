@@ -1,0 +1,269 @@
+"""Rule orchestration: run every CFG/dataflow rule, collect findings.
+
+Rule catalog (IDs are stable — suppressions and docs reference them):
+
+==========  ==============================================================
+AN-BRANCH   branch/jmp target outside the program (or never resolved)
+AN-FALLOFF  control can run past the last instruction (the core raises
+            ``ExecutionError`` when the PC leaves the program)
+AN-HALT     a reachable block from which no ``halt`` is reachable —
+            guaranteed non-termination once control enters it
+AN-DEAD     unreachable basic block (dead code)
+AN-UBD      register read before any write on some path from entry
+==========  ==============================================================
+
+Suppression: ``program.allow("AN-DEAD")`` (program-wide) or
+``program.allow("AN-UBD", index=7)`` (one instruction).  Assembly sources
+use ``; analysis: allow AN-UBD`` — on an instruction line it pins that
+instruction, on its own line it is program-wide.  ``.to_text()`` emits
+both forms, so suppressions survive a disassemble/assemble round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import EXIT, ControlFlowGraph, build_cfg
+from repro.analysis.dataflow import liveness, use_before_def
+from repro.analysis.footprint import BlockFootprint, block_footprints
+from repro.isa.decode import K_BRANCH, K_HALT, K_JMP
+from repro.isa.program import Program
+from repro.isa.registers import register_name
+
+#: rule id -> (severity, one-line description, fix-it hint)
+ANALYSIS_RULES: dict[str, tuple[str, str, str]] = {
+    "AN-BRANCH": (
+        "error",
+        "branch or jmp target outside the program",
+        "point the branch at a label inside the program",
+    ),
+    "AN-FALLOFF": (
+        "error",
+        "control can run past the last instruction",
+        "end every path with `halt` (the core raises when the PC leaves "
+        "the program)",
+    ),
+    "AN-HALT": (
+        "error",
+        "no `halt` reachable from here: guaranteed non-termination",
+        "add a `halt`-reaching exit edge (or a loop-exit branch)",
+    ),
+    "AN-DEAD": (
+        "warning",
+        "unreachable basic block (dead code)",
+        "delete the block or add a branch that reaches it",
+    ),
+    "AN-UBD": (
+        "warning",
+        "register read before any write on some path",
+        "initialise the register (`li`) before the first read",
+    ),
+}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to an instruction index.
+
+    ``index`` is ``None`` for program-level findings (e.g. an empty
+    program).  Source line numbers are resolved at render time from
+    ``program.source_lines``, so a finding compares equal across a
+    ``to_text()``/``assemble()`` round trip.
+    """
+
+    index: int | None
+    rule: str
+    message: str
+
+    @property
+    def severity(self) -> str:
+        return ANALYSIS_RULES[self.rule][0]
+
+
+@dataclass(frozen=True)
+class ProgramAnalysis:
+    """Everything the analyzer knows about one finalized program."""
+
+    cfg: ControlFlowGraph
+    #: Findings that survived suppression, sorted by (index, rule).
+    findings: tuple[Finding, ...]
+    #: Findings silenced by ``program.allow`` / ``; analysis: allow``.
+    suppressed: tuple[Finding, ...]
+    #: Per-block ``(live_in, live_out)`` register sets, in block order.
+    liveness: tuple[tuple[frozenset[int], frozenset[int]], ...]
+    #: Static memory footprint of every reachable block.
+    footprints: tuple[BlockFootprint, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def errors(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == "error")
+
+
+def _branch_findings(decoded: tuple[tuple, ...]) -> list[Finding]:
+    """AN-BRANCH: every control transfer must land inside the program."""
+    n = len(decoded)
+    findings = []
+    for index, tup in enumerate(decoded):
+        kind = tup[0]
+        if kind == K_JMP:
+            target = tup[1]
+        elif kind == K_BRANCH:
+            target = tup[4]
+        else:
+            continue
+        if not isinstance(target, int) or not 0 <= target < n:
+            findings.append(
+                Finding(
+                    index=index,
+                    rule="AN-BRANCH",
+                    message=f"target {target!r} outside program of {n} "
+                    "instruction(s)",
+                )
+            )
+    return findings
+
+
+def _falloff_findings(
+    decoded: tuple[tuple, ...], cfg: ControlFlowGraph
+) -> list[Finding]:
+    """AN-FALLOFF: a reachable block whose fall-through leaves the program."""
+    findings = []
+    for index in cfg.reachable:
+        block = cfg.blocks[index]
+        if EXIT in block.successors:
+            findings.append(
+                Finding(
+                    index=block.end - 1,
+                    rule="AN-FALLOFF",
+                    message="execution falls off the end of the program here",
+                )
+            )
+    return findings
+
+
+def _halt_findings(
+    decoded: tuple[tuple, ...], cfg: ControlFlowGraph
+) -> list[Finding]:
+    """AN-HALT: reachable blocks from which no ``halt`` can be reached.
+
+    Backward reachability from every halt-containing block; any reachable
+    block outside that set is a point of no return.  Only the first such
+    block (in program order) is reported — every block of the same trap
+    region would otherwise repeat the finding.
+    """
+    halting = {
+        cfg.block_of[i]
+        for i, tup in enumerate(decoded)
+        if tup[0] == K_HALT
+    }
+    preds = cfg.predecessors()
+    can_halt = set(halting)
+    frontier = list(halting)
+    while frontier:
+        block_index = frontier.pop()
+        for pred in preds[block_index]:
+            if pred not in can_halt:
+                can_halt.add(pred)
+                frontier.append(pred)
+    for index in cfg.reachable:
+        if index not in can_halt:
+            block = cfg.blocks[index]
+            return [
+                Finding(
+                    index=block.start,
+                    rule="AN-HALT",
+                    message="no `halt` is reachable from this block",
+                )
+            ]
+    return []
+
+
+def _dead_findings(cfg: ControlFlowGraph) -> list[Finding]:
+    reachable = set(cfg.reachable)
+    return [
+        Finding(
+            index=block.start,
+            rule="AN-DEAD",
+            message=f"block of {block.end - block.start} instruction(s) is "
+            "unreachable",
+        )
+        for block in cfg.blocks
+        if block.index not in reachable
+    ]
+
+
+def _ubd_findings(
+    decoded: tuple[tuple, ...], cfg: ControlFlowGraph
+) -> list[Finding]:
+    return [
+        Finding(
+            index=index,
+            rule="AN-UBD",
+            message=f"{register_name(register)} may be read before it is "
+            "written",
+        )
+        for index, register in use_before_def(decoded, cfg)
+    ]
+
+
+def analyze_program(program: Program) -> ProgramAnalysis:
+    """Run every rule over ``program`` (which must be decoded).
+
+    Pure: reads ``program.decoded``, ``program.data_segments`` and
+    ``program.suppressions``; mutates nothing.
+    """
+    decoded = tuple(program.decoded)
+    cfg = build_cfg(decoded)
+    if not decoded:
+        raw = [
+            Finding(index=None, rule="AN-HALT", message="program is empty")
+        ]
+    else:
+        raw = (
+            _branch_findings(decoded)
+            + _falloff_findings(decoded, cfg)
+            + _halt_findings(decoded, cfg)
+            + _dead_findings(cfg)
+            + _ubd_findings(decoded, cfg)
+        )
+    raw.sort(key=lambda f: (f.index if f.index is not None else -1, f.rule))
+    suppressions = program.suppressions
+    kept, silenced = [], []
+    for finding in raw:
+        if (finding.rule, None) in suppressions or (
+            finding.rule,
+            finding.index,
+        ) in suppressions:
+            silenced.append(finding)
+        else:
+            kept.append(finding)
+    return ProgramAnalysis(
+        cfg=cfg,
+        findings=tuple(kept),
+        suppressed=tuple(silenced),
+        liveness=liveness(decoded, cfg),
+        footprints=block_footprints(
+            decoded, cfg, tuple(program.data_segments)
+        ),
+    )
+
+
+def render_findings(program: Program, analysis: ProgramAnalysis) -> list[str]:
+    """Human-readable finding lines with source line numbers when known."""
+    lines = []
+    for finding in analysis.findings:
+        if finding.index is None:
+            where = "program"
+        elif finding.index < len(program.source_lines):
+            where = f"line {program.source_lines[finding.index]}"
+        else:
+            where = f"instr {finding.index}"
+        severity, _, fixit = ANALYSIS_RULES[finding.rule]
+        lines.append(
+            f"{program.name}: {where}: {severity} {finding.rule} "
+            f"{finding.message} (fix: {fixit})"
+        )
+    return lines

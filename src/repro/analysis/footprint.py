@@ -1,0 +1,106 @@
+"""Static memory-footprint summary: which data each block can touch.
+
+For every memory access whose address constant propagation resolved
+(:func:`repro.analysis.dataflow.constant_addresses`), the footprint maps
+it onto the program's :class:`~repro.isa.program.DataSegment` ranges.
+Accesses whose base register is loop-carried or loaded from memory stay
+*unresolved* — they are counted per block, never guessed.
+
+This is the substrate PhantomFetch-style load obfuscation and the
+scheduling-aware defense reason over ("which loads can this program
+emit"): a defense evaluation can read a victim's statically-known table
+ranges straight from the analysis instead of tracing a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.dataflow import constant_addresses
+from repro.isa.decode import K_CLFLUSH, K_LOAD, K_PREFETCH, K_STORE
+from repro.isa.program import DataSegment
+
+
+@dataclass(frozen=True)
+class SegmentRange:
+    """Byte span of one data segment: ``[base, limit)``."""
+
+    base: int
+    limit: int
+    stride: int
+
+    @classmethod
+    def of(cls, segment: DataSegment) -> "SegmentRange":
+        return cls(
+            base=segment.base,
+            limit=segment.base + len(segment.values) * segment.stride,
+            stride=segment.stride,
+        )
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.limit
+
+
+@dataclass(frozen=True)
+class BlockFootprint:
+    """Statically resolved memory behaviour of one basic block.
+
+    Attributes:
+        block: the block's index in the CFG.
+        segments: indices into ``program.data_segments`` of every segment
+            a resolved access lands in (sorted, deduplicated).
+        addresses: the resolved ``(instruction index, address)`` pairs.
+        outside: resolved addresses that hit no declared data segment.
+        unresolved: count of memory accesses whose address could not be
+            computed statically (loop-carried or memory-dependent base).
+    """
+
+    block: int
+    segments: tuple[int, ...]
+    addresses: tuple[tuple[int, int], ...]
+    outside: tuple[int, ...]
+    unresolved: int
+
+
+def block_footprints(
+    decoded: tuple[tuple, ...],
+    cfg: ControlFlowGraph,
+    segments: tuple[DataSegment, ...],
+) -> tuple[BlockFootprint, ...]:
+    """One :class:`BlockFootprint` per *reachable* block, in block order."""
+    resolved = constant_addresses(decoded, cfg)
+    ranges = [SegmentRange.of(segment) for segment in segments]
+    footprints = []
+    for index in cfg.reachable:
+        block = cfg.blocks[index]
+        touched: set[int] = set()
+        addresses: list[tuple[int, int]] = []
+        outside: list[int] = []
+        unresolved = 0
+        for i in block.instruction_indices():
+            kind = decoded[i][0]
+            if kind not in (K_LOAD, K_STORE, K_CLFLUSH, K_PREFETCH):
+                continue
+            address = resolved.get(i)
+            if address is None:
+                unresolved += 1
+                continue
+            addresses.append((i, address))
+            hit = False
+            for seg_index, seg_range in enumerate(ranges):
+                if seg_range.contains(address):
+                    touched.add(seg_index)
+                    hit = True
+            if not hit:
+                outside.append(address)
+        footprints.append(
+            BlockFootprint(
+                block=index,
+                segments=tuple(sorted(touched)),
+                addresses=tuple(addresses),
+                outside=tuple(outside),
+                unresolved=unresolved,
+            )
+        )
+    return tuple(footprints)

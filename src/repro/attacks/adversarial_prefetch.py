@@ -84,7 +84,7 @@ class AdversarialPrefetchAttack(CacheAttack):
         emit_victim(victim, layout, options)
         emit_signal(victim, layout.flag_victim_done)
         victim.halt()
-        return [attacker.build(), victim.build()]
+        return [attacker.build(strict=True), victim.build(strict=True)]
 
 
 class AdversarialPrefetchA1(AdversarialPrefetchAttack):

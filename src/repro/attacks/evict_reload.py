@@ -42,4 +42,4 @@ class EvictReloadAttack(CacheAttack):
         emit_victim(builder, layout, options)
         emit_probe_loop(builder, layout, options)
         builder.halt()
-        return [builder.build()]
+        return [builder.build(strict=True)]

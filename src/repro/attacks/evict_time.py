@@ -80,7 +80,7 @@ class EvictTimeAttack(CacheAttack):
         builder.add("r2", "r2", 1)
         builder.blt("r2", "r3", loop)
         builder.halt()
-        return [builder.build()]
+        return [builder.build(strict=True)]
 
     def run(self, system_config=None, max_steps=20_000_000):
         outcome = super().run(system_config, max_steps)

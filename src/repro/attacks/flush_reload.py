@@ -69,7 +69,7 @@ class FlushReloadAttack(CacheAttack):
             emit_victim(builder, layout, options)
         emit_probe_loop(builder, layout, options)
         builder.halt()
-        return builder.build()
+        return builder.build(strict=True)
 
     def _build_cross_core(self) -> list[Program]:
         layout, options = self.layout, self.options
@@ -92,4 +92,4 @@ class FlushReloadAttack(CacheAttack):
         emit_victim(victim, layout, options)
         emit_signal(victim, layout.flag_victim_done)
         victim.halt()
-        return [attacker.build(), victim.build()]
+        return [attacker.build(strict=True), victim.build(strict=True)]

@@ -50,4 +50,4 @@ class PrimeProbeAttack(CacheAttack):
             second_way_offset=layout.evict_offset_2,
         )
         builder.halt()
-        return [builder.build()]
+        return [builder.build(strict=True)]

@@ -25,6 +25,19 @@ class AssemblyError(ReproError):
         super().__init__(message)
 
 
+class AnalysisError(ReproError):
+    """Raised when strict static analysis rejects a program.
+
+    Attributes:
+        findings: the :class:`repro.analysis.Finding` objects that caused
+            the rejection (already filtered through suppressions).
+    """
+
+    def __init__(self, message: str, findings: tuple = ()) -> None:
+        self.findings = tuple(findings)
+        super().__init__(message)
+
+
 class ExecutionError(ReproError):
     """Raised when a program performs an illegal operation at run time."""
 

@@ -31,6 +31,12 @@ from repro.isa.registers import REGISTER_ALIASES, register_index
 _LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
 _OFFSET_RE = re.compile(r"^(?P<offset>[^()]*)\((?P<base>[A-Za-z0-9_]+)\)$")
 _KEYVAL_RE = re.compile(r"^([a-z]+)=(.+)$")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+#: ``; analysis: allow AN-UBD AN-DEAD`` — instruction-scoped when the
+#: comment shares a line with an instruction, program-wide otherwise.
+_ALLOW_PRAGMA_RE = re.compile(
+    r"[#;]\s*analysis:\s*allow\s+(?P<rules>[A-Z0-9\- ]+?)\s*$"
+)
 
 
 def _strip_comment(line: str) -> str:
@@ -39,6 +45,14 @@ def _strip_comment(line: str) -> str:
         if position >= 0:
             line = line[:position]
     return line.strip()
+
+
+def _allow_pragma(raw: str) -> list[str]:
+    """Analysis rule IDs named by a ``analysis: allow`` comment on ``raw``."""
+    match = _ALLOW_PRAGMA_RE.search(raw)
+    if not match:
+        return []
+    return match.group("rules").split()
 
 
 def _is_register(token: str) -> bool:
@@ -71,13 +85,26 @@ class _Parser:
         except Exception:
             raise AssemblyError(f"bad register {token!r}", line_no) from None
 
-    def run(self) -> Program:
+    def _allow(
+        self, rules: list[str], line_no: int, index: "int | None"
+    ) -> None:
+        for rule in rules:
+            try:
+                self.program.allow(rule, index=index)
+            except AssemblyError as error:
+                raise AssemblyError(str(error), line_no) from None
+
+    def run(self, strict: bool = False) -> Program:
         for line_no, raw in enumerate(self.source.splitlines(), start=1):
+            allow_rules = _allow_pragma(raw)
             line = _strip_comment(raw)
             if not line:
+                # A standalone ``; analysis: allow`` comment is program-wide.
+                self._allow(allow_rules, line_no, index=None)
                 continue
             if line.startswith("."):
                 self._directive(line, line_no)
+                self._allow(allow_rules, line_no, index=None)
                 continue
             match = _LABEL_RE.match(line)
             if match:
@@ -85,9 +112,13 @@ class _Parser:
                     self.program.add_label(match.group(1))
                 except AssemblyError as error:
                     raise AssemblyError(str(error), line_no) from None
+                self._allow(allow_rules, line_no, index=None)
                 continue
             self._instruction(line, line_no)
-        return self.program.finalize()
+            self._allow(
+                allow_rules, line_no, index=len(self.program.instructions) - 1
+            )
+        return self.program.finalize(strict=strict)
 
     # -- directives --------------------------------------------------------
 
@@ -101,7 +132,17 @@ class _Parser:
         elif directive == ".equ":
             if len(parts) != 3:
                 raise AssemblyError(".equ takes NAME VALUE", line_no)
+            if parts[1] in self.constants:
+                raise AssemblyError(
+                    f".equ redefines {parts[1]!r} (first value "
+                    f"{self.constants[parts[1]]})",
+                    line_no,
+                )
             self.constants[parts[1]] = self.parse_int(parts[2], line_no)
+        elif directive == ".allow":
+            if len(parts) < 2:
+                raise AssemblyError(".allow takes one or more rule IDs", line_no)
+            self._allow(parts[1:], line_no, index=None)
         elif directive == ".data":
             self._data(parts[1:], line_no)
         elif directive == ".fill":
@@ -109,7 +150,9 @@ class _Parser:
         else:
             raise AssemblyError(f"unknown directive {directive!r}", line_no)
 
-    def _split_kv(self, tokens: list[str], line_no: int) -> tuple[dict, list[str]]:
+    def _split_kv(
+        self, tokens: list[str], line_no: int
+    ) -> tuple[dict[str, int], list[str]]:
         options: dict[str, int] = {}
         rest: list[str] = []
         for token in tokens:
@@ -160,6 +203,7 @@ class _Parser:
         except Exception as error:  # defensive: malformed operand shapes
             raise AssemblyError(f"cannot parse {line!r}: {error}", line_no) from None
         self.program.append(instruction)
+        self.program.source_lines.append(line_no)
 
     def _offset_base(self, token: str, line_no: int) -> tuple[int, int]:
         match = _OFFSET_RE.match(token)
@@ -219,15 +263,26 @@ class _Parser:
                 op,
                 rs0=self.parse_register(operands[0], line_no),
                 rs1=self.parse_register(operands[1], line_no),
-                target=operands[2],
+                target=self._target(operands[2], line_no),
             )
         if op == "jmp":
             self._arity(op, operands, 1, line_no)
-            return Instruction("jmp", target=operands[0])
+            return Instruction("jmp", target=self._target(operands[0], line_no))
         if op in ("nop", "fence", "halt"):
             self._arity(op, operands, 0, line_no)
             return Instruction(op)
         raise AssemblyError(f"unknown mnemonic {op!r}", line_no)
+
+    def _target(self, token: str, line_no: int) -> "str | int":
+        """A branch target: a label name, or a numeric instruction index.
+
+        Numeric targets let :meth:`Program.to_text` output round-trip even
+        for (pathological) finalized branches pointing at an unlabelled
+        index; the analyzer range-checks them like any other target.
+        """
+        if _IDENT_RE.match(token):
+            return token
+        return self.parse_int(token, line_no)
 
     @staticmethod
     def _arity(op: str, operands: list[str], expected: int, line_no: int) -> None:
@@ -237,6 +292,11 @@ class _Parser:
             )
 
 
-def assemble(source: str, name: str = "program") -> Program:
-    """Assemble ``source`` text into a finalized :class:`Program`."""
-    return _Parser(source, name).run()
+def assemble(source: str, name: str = "program", strict: bool = False) -> Program:
+    """Assemble ``source`` text into a finalized :class:`Program`.
+
+    ``strict=True`` additionally runs the static analyzer
+    (:mod:`repro.analysis`) and raises :class:`~repro.errors.AnalysisError`
+    on any unsuppressed finding.
+    """
+    return _Parser(source, name).run(strict=strict)

@@ -29,9 +29,23 @@ class ProgramBuilder:
 
     # -- infrastructure -----------------------------------------------------
 
-    def build(self) -> Program:
-        """Finalize (resolve labels) and return the program."""
-        return self._program.finalize()
+    def build(self, strict: bool = False) -> Program:
+        """Finalize (resolve labels) and return the program.
+
+        ``strict=True`` runs the static analyzer and raises
+        :class:`~repro.errors.AnalysisError` on any unsuppressed finding;
+        all built-in workload and attack generators build strictly.
+        """
+        return self._program.finalize(strict=strict)
+
+    def allow(self, rule: str, index: "int | None" = None) -> "ProgramBuilder":
+        """Suppress analysis ``rule`` (see :meth:`Program.allow`).
+
+        With ``index=None`` the next-emitted instruction's index is *not*
+        implied — the suppression is program-wide.
+        """
+        self._program.allow(rule, index=index)
+        return self
 
     def label(self, name: str) -> "ProgramBuilder":
         self._program.add_label(name)

@@ -38,6 +38,8 @@ Tuple layouts by kind::
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.errors import AssemblyError
 from repro.isa.instructions import Instruction
 from repro.isa.registers import WORD_MASK
@@ -88,7 +90,7 @@ _MASKED_RI = {"add": K_ADD_RI, "and": K_AND_RI, "or": K_OR_RI, "xor": K_XOR_RI}
 _BRANCH_COND = {"beq": 0, "bne": 1, "blt": 2, "bge": 3}
 
 
-def decode_instruction(instruction: Instruction, pc: int) -> tuple:
+def decode_instruction(instruction: Instruction, pc: int) -> tuple[Any, ...]:
     """One instruction -> its dispatch tuple (``pc`` = instruction address)."""
     op = instruction.op
     if op == "load":
@@ -143,7 +145,7 @@ def decode_instruction(instruction: Instruction, pc: int) -> tuple:
 
 def decode_program(
     instructions: list[Instruction], code_base: int, instruction_size: int
-) -> tuple[tuple, ...]:
+) -> tuple[tuple[Any, ...], ...]:
     """Decode a finalized instruction list into dispatch tuples."""
     return tuple(
         decode_instruction(instruction, code_base + instruction_size * index)

@@ -54,6 +54,12 @@ ALL_OPS = (
 )
 
 
+def _reg(index: int | None) -> str:
+    """Register name for a field the opcode guarantees is populated."""
+    assert index is not None, "register field unset for this opcode"
+    return register_name(index)
+
+
 class Instruction:
     """One decoded instruction; immutable by convention after finalize."""
 
@@ -88,31 +94,35 @@ class Instruction:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Instruction({self.to_text()})"
 
-    def to_text(self) -> str:
-        """Render the instruction back to assembly text."""
+    def to_text(self, target_label: str | None = None) -> str:
+        """Render the instruction back to assembly text.
+
+        ``target_label`` substitutes a label name for a finalized (integer)
+        branch target — :meth:`repro.isa.program.Program.to_text` passes
+        the label attached at the target index so output re-assembles.
+        """
         op = self.op
         if op == "li":
-            return f"li {register_name(self.rd)}, {self.imm}"
+            return f"li {_reg(self.rd)}, {self.imm}"
         if op == "mov":
-            return f"mov {register_name(self.rd)}, {register_name(self.rs0)}"
+            return f"mov {_reg(self.rd)}, {_reg(self.rs0)}"
         if op in ALU_OPS:
             second = (
                 register_name(self.rs1) if self.rs1 is not None else str(self.imm)
             )
-            return f"{op} {register_name(self.rd)}, {register_name(self.rs0)}, {second}"
+            return f"{op} {_reg(self.rd)}, {_reg(self.rs0)}, {second}"
         if op == "load":
-            return f"load {register_name(self.rd)}, {self.imm}({register_name(self.rs0)})"
+            return f"load {_reg(self.rd)}, {self.imm}({_reg(self.rs0)})"
         if op == "store":
-            return f"store {register_name(self.rs0)}, {self.imm}({register_name(self.rs1)})"
+            return f"store {_reg(self.rs0)}, {self.imm}({_reg(self.rs1)})"
         if op in ("clflush", "prefetch", "prefetchw"):
-            return f"{op} {self.imm}({register_name(self.rs0)})"
+            return f"{op} {self.imm}({_reg(self.rs0)})"
         if op == "rdcycle":
-            return f"rdcycle {register_name(self.rd)}"
+            return f"rdcycle {_reg(self.rd)}"
         if op in BRANCH_OPS:
-            return (
-                f"{op} {register_name(self.rs0)}, {register_name(self.rs1)}, "
-                f"{self.target}"
-            )
+            shown = target_label if target_label is not None else self.target
+            return f"{op} {_reg(self.rs0)}, {_reg(self.rs1)}, {shown}"
         if op == "jmp":
-            return f"jmp {self.target}"
+            jmp_shown = target_label if target_label is not None else self.target
+            return f"jmp {jmp_shown}"
         return op

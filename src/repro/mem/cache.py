@@ -63,6 +63,8 @@ class CacheStats:
 class MemoryPort:
     """Terminal 'parent' wrapping main memory's flat latency."""
 
+    __slots__ = ("_memory",)
+
     level_name = "MEM"
 
     def __init__(self, memory: MainMemory) -> None:
@@ -85,6 +87,27 @@ _EMPTY_STAMPS: list[int] = []
 
 class Cache:
     """One level of set-associative cache."""
+
+    __slots__ = (
+        "name",
+        "level_name",
+        "size",
+        "assoc",
+        "amap",
+        "hit_latency",
+        "parent",
+        "num_sets",
+        "_sets",
+        "_stamps",
+        "_tags",
+        "_clock",
+        "_block_mask",
+        "_block_bits",
+        "_set_mask",
+        "mshr",
+        "stats",
+        "on_evict",
+    )
 
     def __init__(
         self,

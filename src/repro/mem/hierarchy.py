@@ -42,7 +42,7 @@ from repro.prefetch.base import (
 from repro.utils.addr import AddressMap
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HierarchyConfig:
     """Geometry and latencies; defaults mirror the paper's gem5 baseline."""
 
@@ -76,7 +76,7 @@ class AccessOutcome:
     level: str  # "L1D", "L2", "MEM", "INFLIGHT", "MSHR"
 
 
-@dataclass
+@dataclass(slots=True)
 class _PrefetchLog:
     counts: dict[str, int] = field(default_factory=dict)
     timeline: list[tuple[int, str, int]] = field(default_factory=list)
@@ -84,6 +84,22 @@ class _PrefetchLog:
 
 class MemoryHierarchy:
     """Cores' window onto memory: caches + coherence-lite + prefetchers."""
+
+    __slots__ = (
+        "config",
+        "amap",
+        "num_cores",
+        "memory",
+        "_port",
+        "l2",
+        "l1ds",
+        "_prefetchers",
+        "_active",
+        "_logs",
+        "_exclusive",
+        "ownership_steals",
+        "_block_mask",
+    )
 
     def __init__(
         self,

@@ -16,6 +16,8 @@ DEFAULT_MEMORY_LATENCY = 120
 class MainMemory:
     """Functional word store plus the DRAM access latency constant."""
 
+    __slots__ = ("latency", "_words", "reads", "writes")
+
     def __init__(self, latency: int = DEFAULT_MEMORY_LATENCY) -> None:
         self.latency = latency
         self._words: dict[int, int] = {}

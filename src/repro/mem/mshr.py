@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     block_addr: int
     ready_time: int
@@ -36,6 +36,19 @@ class MSHRFile:
     real prefetchers ship with; a saturated demand stream therefore cannot
     permanently starve the defense's prefetches (and vice versa).
     """
+
+    __slots__ = (
+        "num_entries",
+        "max_merges",
+        "prefetch_entries",
+        "_entries",
+        "demand_waits",
+        "total_wait_cycles",
+        "merges",
+        "prefetch_drops",
+        "prefetch_squashes",
+        "last_squashed_block",
+    )
 
     def __init__(
         self,

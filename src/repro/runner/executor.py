@@ -18,6 +18,7 @@ Two execution backends share that contract:
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Iterable
 
 from repro.errors import ConfigError
 from repro.runner.pool import WorkerPool, default_workers
@@ -27,11 +28,11 @@ __all__ = ["default_workers", "run_batch"]
 
 
 def run_batch(
-    jobs,
+    jobs: Iterable[Any],
     workers: int = 1,
     store: ResultStore | None = None,
     pool: WorkerPool | None = None,
-) -> list:
+) -> list[Any]:
     """Run a batch of jobs; results are returned in input order.
 
     Args:
@@ -58,8 +59,8 @@ def run_batch(
     jobs = list(jobs)
     keys = [job.key() for job in jobs]
 
-    results: dict[str, object] = {}
-    pending: list[tuple[str, object]] = []
+    results: dict[str, Any] = {}
+    pending: list[tuple[str, Any]] = []
     pending_keys: set[str] = set()
     for key, job in zip(keys, jobs):
         if key in results or key in pending_keys:
@@ -94,6 +95,6 @@ def run_batch(
     return [results[key] for key in keys]
 
 
-def _execute(job):
+def _execute(job: Any) -> Any:
     """Module-level trampoline so jobs pickle cleanly into pool workers."""
     return job.run()

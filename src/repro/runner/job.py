@@ -37,6 +37,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.attacks import (
     AdversarialPrefetchA1,
@@ -126,8 +127,8 @@ class SimResult:
     instructions: int
     core_cycles: list[int]
     core_instructions: list[int]
-    l1d_stats: list[dict]
-    l2_stats: dict
+    l1d_stats: list[dict[str, int]]
+    l2_stats: dict[str, int]
     prefetch_counts: list[dict[str, int]]
     samples: list[tuple[int, int]] = field(default_factory=list)
     defense_stats: list[dict[str, int]] = field(default_factory=list)
@@ -146,13 +147,13 @@ class SimResult:
             defense_stats=[dict(stats) for stats in result.defense_stats],
         )
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, Any]:
         data = dataclasses.asdict(self)
         data["samples"] = [[step, value] for step, value in self.samples]
         return data
 
     @classmethod
-    def from_json(cls, data: dict) -> "SimResult":
+    def from_json(cls, data: dict[str, Any]) -> "SimResult":
         return cls(
             cycles=data["cycles"],
             instructions=data["instructions"],
@@ -243,7 +244,7 @@ class AttackJob:
 
     @classmethod
     def build(
-        cls, attack: str, system: SystemConfig | None = None, **option_overrides
+        cls, attack: str, system: SystemConfig | None = None, **option_overrides: Any
     ) -> "AttackJob":
         """Job with the attack class's default options merged in.
 
@@ -285,11 +286,11 @@ class AttackProbe:
     candidates: list[int]
     cycles: int
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
 
     @classmethod
-    def from_json(cls, data: dict) -> "AttackProbe":
+    def from_json(cls, data: dict[str, Any]) -> "AttackProbe":
         return cls(
             attack=str(data["attack"]),
             challenges=str(data["challenges"]),
@@ -327,7 +328,7 @@ class AttackProbeJob:
 
     @classmethod
     def build(
-        cls, attack: str, system: SystemConfig | None = None, **option_overrides
+        cls, attack: str, system: SystemConfig | None = None, **option_overrides: Any
     ) -> "AttackProbeJob":
         """Probe job with the attack class's default options merged in.
 
@@ -382,11 +383,11 @@ class ScenarioProbe:
     cycles: int
     defense_stats: list[dict[str, int]]
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
 
     @classmethod
-    def from_json(cls, data: dict) -> "ScenarioProbe":
+    def from_json(cls, data: dict[str, Any]) -> "ScenarioProbe":
         return cls(
             attack=str(data["attack"]),
             victim=str(data["victim"]),
@@ -437,7 +438,7 @@ class ScenarioJob:
         victim: str,
         secret: int,
         system: SystemConfig | None = None,
-        **option_overrides,
+        **option_overrides: Any,
     ) -> "ScenarioJob":
         """Job with victim geometry and attack defaults resolved in.
 

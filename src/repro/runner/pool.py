@@ -28,8 +28,13 @@ import multiprocessing
 import os
 import pickle
 import queue
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover — typing-only imports
+    from multiprocessing.process import BaseProcess
+    from multiprocessing.queues import Queue as MPQueue
 
 #: Seconds between liveness checks while waiting on batch results.  Only
 #: matters if a worker dies abnormally (e.g. OOM-killed) mid-batch; normal
@@ -42,7 +47,10 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _worker_loop(tasks, results) -> None:
+def _worker_loop(
+    tasks: "MPQueue[tuple[int, Any] | None]",
+    results: "MPQueue[tuple[int, bool, Any]]",
+) -> None:
     """Worker process body: run jobs off ``tasks`` until the ``None`` sentinel.
 
     Each task is ``(index, job)``; each result is ``(index, ok, payload)``
@@ -86,9 +94,9 @@ class WorkerPool:
         self.workers = workers or default_workers()
         self.batches = 0
         self._context = multiprocessing.get_context()
-        self._tasks = self._context.Queue()
-        self._results = self._context.Queue()
-        self._processes: list = []
+        self._tasks: "MPQueue[tuple[int, Any] | None]" = self._context.Queue()
+        self._results: "MPQueue[tuple[int, bool, Any]]" = self._context.Queue()
+        self._processes: list["BaseProcess"] = []
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------------
@@ -106,7 +114,7 @@ class WorkerPool:
             process.start()
             self._processes.append(process)
 
-    def pids(self) -> list[int]:
+    def pids(self) -> list[int | None]:
         """PIDs of the live workers (empty before the first batch)."""
         return [process.pid for process in self._processes]
 
@@ -132,12 +140,12 @@ class WorkerPool:
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- execution ----------------------------------------------------------------
 
-    def run(self, jobs) -> list:
+    def run(self, jobs: Iterable[Any]) -> list[Any]:
         """Run ``jobs`` on the (reused) workers; results in input order.
 
         The whole batch is drained even when a job raises, so a failure
@@ -155,7 +163,7 @@ class WorkerPool:
         self._ensure_workers()
         for item in enumerate(jobs):
             self._tasks.put(item)
-        results: list = [None] * len(jobs)
+        results: list[Any] = [None] * len(jobs)
         errors: dict[int, Exception] = {}
         collected = 0
         while collected < len(jobs):

@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+from typing import Any
 
 from repro.errors import ConfigError
 from repro.runner.job import (
@@ -74,7 +75,7 @@ class ResultStore:
     def _path(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
 
-    def get(self, key: str):
+    def get(self, key: str) -> Any:
         """Return the stored result for ``key``, or ``None`` on any miss.
 
         A hit refreshes the entry's mtime, which is the recency the size
@@ -105,7 +106,7 @@ class ResultStore:
             pass
         return result
 
-    def put(self, key: str, job: object, result) -> None:
+    def put(self, key: str, job: object, result: Any) -> None:
         """Persist one result (then enforce the size cap, if any)."""
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -125,7 +126,10 @@ class ResultStore:
 
     def _evict(self, keep: pathlib.Path) -> None:
         """Delete LRU entries until the store fits ``max_bytes`` again."""
-        entries = []
+        cap = self.max_bytes
+        if cap is None:  # pragma: no cover — only called when a cap is set
+            return
+        entries: list[tuple[float, str, pathlib.Path, int]] = []
         total = 0
         for path in self.root.glob("*.json"):
             try:
@@ -136,7 +140,7 @@ class ResultStore:
             total += stat.st_size
         entries.sort()  # oldest mtime first; name breaks ties deterministically
         for _, _, path, size in entries:
-            if total <= self.max_bytes:
+            if total <= cap:
                 return
             if path == keep:
                 continue

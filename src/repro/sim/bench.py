@@ -98,9 +98,9 @@ def _time_scenario(
     best = float("inf")
     result = None
     for _ in range(max(1, repeats)):
-        start = time.perf_counter()
+        start = time.perf_counter()  # lint: allow DET102
         result = run()
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # lint: allow DET102
         if elapsed < best:
             best = elapsed
     return ScenarioResult(

@@ -70,7 +70,7 @@ def _perlbench(scale: float) -> Program:
     emit_stream(builder, STREAM, _n(500, scale))
     emit_compute(builder, _n(6000, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _bzip2(scale: float) -> Program:
@@ -79,7 +79,7 @@ def _bzip2(scale: float) -> Program:
     emit_stream(builder, STREAM, _n(600, scale), stride=8)
     emit_compute(builder, _n(7000, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _mcf(scale: float) -> Program:
@@ -93,7 +93,7 @@ def _mcf(scale: float) -> Program:
     # next-line Tagged prefetcher gains less.
     emit_stride2d(builder, STREAM, rows=_n(900, scale), cols=1, row_stride=0x140)
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _gobmk(scale: float) -> Program:
@@ -102,7 +102,7 @@ def _gobmk(scale: float) -> Program:
     emit_random_access(builder, RAND, 8192, _n(600, scale), stride=64)
     emit_stream(builder, STREAM, _n(400, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _hmmer(scale: float) -> Program:
@@ -113,7 +113,7 @@ def _hmmer(scale: float) -> Program:
     emit_stream(builder, COPY_SRC, _n(500, scale))
     emit_compute(builder, _n(3500, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _sjeng(scale: float) -> Program:
@@ -121,7 +121,7 @@ def _sjeng(scale: float) -> Program:
     emit_random_access(builder, RAND, 65536, _n(2000, scale), stride=0x200)
     emit_compute(builder, _n(900, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _libquantum(scale: float) -> Program:
@@ -131,7 +131,7 @@ def _libquantum(scale: float) -> Program:
     emit_stream(builder, STREAM, _n(4000, scale), stride=8)
     emit_compute(builder, _n(2500, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _h264ref(scale: float) -> Program:
@@ -142,7 +142,7 @@ def _h264ref(scale: float) -> Program:
     emit_blocked_copy(builder, COPY_SRC, COPY_DST, _n(500, scale))
     emit_compute(builder, _n(5500, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _omnetpp(scale: float) -> Program:
@@ -153,7 +153,7 @@ def _omnetpp(scale: float) -> Program:
     emit_hash_lookup(builder, KEYS, TABLE, _n(500, scale), 512)
     emit_compute(builder, _n(2500, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _astar(scale: float) -> Program:
@@ -164,7 +164,7 @@ def _astar(scale: float) -> Program:
     emit_stream(builder, STREAM, _n(400, scale))
     emit_compute(builder, _n(3000, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _xalancbmk(scale: float) -> Program:
@@ -175,14 +175,14 @@ def _xalancbmk(scale: float) -> Program:
     emit_blocked_copy(builder, COPY_SRC, COPY_DST, _n(500, scale))
     emit_compute(builder, _n(3000, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _specrand(scale: float) -> Program:
     builder = ProgramBuilder("999.specrand")
     emit_compute(builder, _n(5000, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 _MODELS = [

@@ -32,7 +32,7 @@ def _cactu(scale: float) -> Program:
     emit_stencil(builder, STENCIL, _n(2200, scale), stride=8)
     emit_stride2d(builder, STREAM, rows=_n(30, scale), cols=32, row_stride=0x400)
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _blender(scale: float) -> Program:
@@ -41,7 +41,7 @@ def _blender(scale: float) -> Program:
     emit_stream(builder, STREAM, _n(700, scale))
     emit_random_access(builder, RAND, 512, _n(300, scale), stride=64)
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _deepsjeng(scale: float) -> Program:
@@ -49,7 +49,7 @@ def _deepsjeng(scale: float) -> Program:
     emit_random_access(builder, RAND, 65536, _n(1800, scale), stride=0x200)
     emit_compute(builder, _n(800, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _imagick(scale: float) -> Program:
@@ -59,7 +59,7 @@ def _imagick(scale: float) -> Program:
     emit_blocked_copy(builder, COPY_SRC, COPY_DST, _n(500, scale))
     emit_compute(builder, _n(5000, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _leela(scale: float) -> Program:
@@ -67,7 +67,7 @@ def _leela(scale: float) -> Program:
     emit_compute(builder, _n(2600, scale))
     emit_random_access(builder, RAND, 512, _n(500, scale), stride=64)
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _xz(scale: float) -> Program:
@@ -77,7 +77,7 @@ def _xz(scale: float) -> Program:
     emit_stream(builder, STREAM, _n(500, scale))
     emit_compute(builder, _n(7000, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _parest(scale: float) -> Program:
@@ -93,14 +93,14 @@ def _parest(scale: float) -> Program:
     _add_index_array(builder, count, gaps=[1, 2, 1, 3, 1, 2, 1, 4])
     emit_indirect_scaled(builder, IDX, DATA, count, 0x200)
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _exchange2(scale: float) -> Program:
     builder = ProgramBuilder("548.exchange2_r")
     emit_compute(builder, _n(4500, scale))
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 def _roms(scale: float) -> Program:
@@ -108,7 +108,7 @@ def _roms(scale: float) -> Program:
     emit_stream(builder, STREAM, _n(4200, scale), stride=8)
     emit_stencil(builder, STENCIL, _n(1800, scale), stride=8)
     builder.halt()
-    return builder.build()
+    return builder.build(strict=True)
 
 
 _MODELS = [

@@ -1,0 +1,219 @@
+"""Determinism linter: every rule has a firing fixture and a clean twin."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from tools.lint.engine import lint_paths, lint_source
+from tools.lint.rules import LINT_RULES
+
+SIM = "src/repro/sim/model.py"  # inside the deterministic scope
+MEM = "src/repro/mem/thing.py"  # inside the __slots__ scope
+CONFIG = "src/repro/sim/config.py"  # inside the config tree
+OUTSIDE = "src/repro/experiments/tables.py"  # outside the deterministic scope
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def rules_hit(source: str, relpath: str) -> list[str]:
+    return [f.rule for f in lint_source(source, relpath, LINT_RULES)]
+
+
+# -- DET101: unseeded randomness --------------------------------------------
+
+
+def test_det101_flags_global_random():
+    assert rules_hit("import random\nx = random.random()\n", SIM) == ["DET101"]
+
+
+def test_det101_flags_seedless_random_instance():
+    assert rules_hit("import random\nr = random.Random()\n", SIM) == ["DET101"]
+
+
+def test_det101_flags_from_import():
+    assert rules_hit("from random import choice\n", SIM) == ["DET101"]
+
+
+def test_det101_clean_with_seeded_rng():
+    src = "import random\nr = random.Random(1234)\nx = r.random()\n"
+    assert rules_hit(src, SIM) == []
+
+
+def test_det101_silent_outside_scope():
+    assert rules_hit("import random\nx = random.random()\n", OUTSIDE) == []
+
+
+# -- DET102: wall clock ------------------------------------------------------
+
+
+def test_det102_flags_wall_clock():
+    assert rules_hit("import time\nt = time.perf_counter()\n", SIM) == ["DET102"]
+
+
+def test_det102_flags_datetime_now():
+    src = "import datetime\nt = datetime.datetime.now()\n"
+    assert rules_hit(src, SIM) == ["DET102"]
+
+
+def test_det102_clean_with_simulated_clock():
+    assert rules_hit("t = clock.now_cycles()\n", SIM) == []
+
+
+# -- DET103: unsorted set iteration ------------------------------------------
+
+
+def test_det103_flags_set_literal_iteration():
+    assert rules_hit("for x in {1, 2}:\n    pass\n", SIM) == ["DET103"]
+
+
+def test_det103_flags_tracked_set_name():
+    src = "s = set()\nout = [x for x in s]\n"
+    assert rules_hit(src, SIM) == ["DET103"]
+
+
+def test_det103_clean_with_sorted():
+    src = "s = set()\nout = [x for x in sorted(s)]\n"
+    assert rules_hit(src, SIM) == []
+
+
+# -- SLOT201: hot-path __slots__ ---------------------------------------------
+
+
+def test_slot201_flags_dictful_class():
+    src = "class Line:\n    def __init__(self):\n        self.tag = 0\n"
+    assert rules_hit(src, MEM) == ["SLOT201"]
+
+
+def test_slot201_clean_with_slots():
+    src = "class Line:\n    __slots__ = ('tag',)\n"
+    assert rules_hit(src, MEM) == []
+
+
+def test_slot201_clean_with_dataclass_slots():
+    src = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(slots=True)\n"
+        "class Line:\n    tag: int\n"
+    )
+    assert rules_hit(src, MEM) == []
+
+
+def test_slot201_exempts_exceptions():
+    src = "class CacheError(Exception):\n    pass\n"
+    assert rules_hit(src, MEM) == []
+
+
+def test_slot201_silent_outside_scope():
+    src = "class Line:\n    def __init__(self):\n        self.tag = 0\n"
+    assert rules_hit(src, OUTSIDE) == []
+
+
+# -- CFG301: JSON-round-trippable config fields ------------------------------
+
+
+def test_cfg301_flags_non_json_field():
+    src = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class TimingConfig:\n    hook: object\n"
+    )
+    assert rules_hit(src, CONFIG) == ["CFG301"]
+
+
+def test_cfg301_clean_with_json_leaves():
+    src = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class TimingConfig:\n"
+        "    latency: int\n"
+        "    name: str | None\n"
+        "    levels: tuple[int, ...]\n"
+        "    nested: CacheSpec\n"
+    )
+    assert rules_hit(src, CONFIG) == []
+
+
+def test_cfg301_ignores_non_config_classes():
+    src = "class Helper:\n    hook: object\n"
+    assert rules_hit(src, CONFIG) == []
+
+
+# -- POOL401: picklable pool submissions -------------------------------------
+
+
+def test_pool401_flags_lambda():
+    assert rules_hit("pool.run(lambda: 1)\n", SIM) == ["POOL401"]
+
+
+def test_pool401_flags_nested_function():
+    src = (
+        "def outer(pool):\n"
+        "    def inner():\n"
+        "        return 1\n"
+        "    pool.run(inner)\n"
+    )
+    assert rules_hit(src, SIM) == ["POOL401"]
+
+
+def test_pool401_clean_with_module_level_callable():
+    src = (
+        "def job():\n    return 1\n"
+        "def outer(pool):\n    pool.run(job)\n"
+    )
+    assert rules_hit(src, SIM) == []
+
+
+# -- suppressions -------------------------------------------------------------
+
+
+def test_line_suppression():
+    src = "import time\nt = time.perf_counter()  # lint: allow DET102\n"
+    assert rules_hit(src, SIM) == []
+
+
+def test_line_suppression_is_rule_specific():
+    src = "import time\nt = time.perf_counter()  # lint: allow DET101\n"
+    assert rules_hit(src, SIM) == ["DET102"]
+
+
+def test_file_suppression():
+    src = (
+        "# lint: allow-file DET102\n"
+        "import time\n"
+        "a = time.perf_counter()\n"
+        "b = time.monotonic()\n"
+    )
+    assert rules_hit(src, SIM) == []
+
+
+# -- the repo itself and the CLI ---------------------------------------------
+
+
+def test_src_repro_is_lint_clean():
+    assert lint_paths(REPO, ["src/repro"], LINT_RULES) == []
+
+
+def test_cli_exits_nonzero_on_findings(tmp_path):
+    bad = tmp_path / "src" / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import random\nx = random.random()\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.lint", "--root", str(tmp_path), "src"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "DET101" in proc.stdout
+
+
+def test_cli_lists_rules():
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.lint", "--list-rules"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0
+    for rule in LINT_RULES:
+        assert rule.rule_id in proc.stdout

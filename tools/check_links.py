@@ -23,16 +23,27 @@ import sys
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+#: Explicit ``<a id="..."></a>`` / ``<a name="..."></a>`` anchors — used
+#: for non-heading link targets like the analysis/lint rule-ID catalogs.
+EXPLICIT_ANCHOR = re.compile(r"<a\s+(?:id|name)=\"([^\"]+)\"\s*>")
 SKIP_SCHEMES = ("http://", "https://", "mailto:")
 
 
 def heading_anchors(text: str) -> set[str]:
-    """GitHub-style anchor slugs for every heading in ``text``."""
-    anchors = set()
+    """Every anchor linkable in ``text``: heading slugs + explicit ids.
+
+    Heading slugs follow GitHub's rules, including the ``-1``, ``-2``
+    suffixes successive duplicate headings receive.
+    """
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
     for heading in HEADING.findall(text):
         slug = re.sub(r"[`*_]", "", heading.strip().lower())
         slug = re.sub(r"[^\w\- ]", "", slug).replace(" ", "-")
-        anchors.add(slug)
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    anchors.update(EXPLICIT_ANCHOR.findall(text))
     return anchors
 
 

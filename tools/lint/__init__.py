@@ -1,0 +1,11 @@
+"""Determinism/invariant linter for the reproduction's Python sources.
+
+Run as ``python -m tools.lint`` (defaults to ``src/repro``).  See
+:mod:`tools.lint.rules` for the rule catalog and
+:mod:`tools.lint.engine` for the suppression syntax.
+"""
+
+from tools.lint.engine import LintFinding, lint_paths, lint_source
+from tools.lint.rules import LINT_RULES
+
+__all__ = ["LINT_RULES", "LintFinding", "lint_paths", "lint_source"]

@@ -1,0 +1,58 @@
+"""CLI: ``python -m tools.lint [paths...]``.
+
+Exits non-zero when any finding survives suppression, so the CI ``lint``
+job fails on new violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.lint.engine import lint_paths
+from tools.lint.rules import LINT_RULES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="repo-specific determinism/invariant linter",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root that rule path scopes are relative to",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in LINT_RULES:
+            print(f"{rule.rule_id}  {rule.description}")
+            print(f"        fix: {rule.fixit}")
+        return 0
+
+    fixits = {rule.rule_id: rule.fixit for rule in LINT_RULES}
+    findings = lint_paths(Path(args.root).resolve(), args.paths, LINT_RULES)
+    for finding in findings:
+        print(finding.render(fixits[finding.rule]))
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Lint engine: file walking, suppression handling, finding collection.
+
+Rules (see :mod:`tools.lint.rules`) are small objects with a stable ID, a
+path scope, and an AST check.  The engine parses each Python file once,
+runs every in-scope rule, and filters the raw findings through the two
+suppression forms:
+
+* ``# lint: allow RULE [RULE ...]`` — trailing comment silences those
+  rules on that line only;
+* ``# lint: allow-file RULE [RULE ...]`` — anywhere in the file, silences
+  the rules for the whole file.
+
+Suppressions are deliberately loud in the diff: a rule can only be turned
+off at the place that violates it, never globally from a config file.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol
+
+_ALLOW_LINE_RE = re.compile(r"#\s*lint:\s*allow\s+(?P<rules>[A-Z0-9 ]+?)\s*$")
+_ALLOW_FILE_RE = re.compile(
+    r"#\s*lint:\s*allow-file\s+(?P<rules>[A-Z0-9 ]+?)\s*$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self, fixit: str) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message} (fix: {fixit})"
+
+
+class LintRule(Protocol):
+    """Interface every rule in :data:`tools.lint.rules.LINT_RULES` satisfies."""
+
+    rule_id: str
+    description: str
+    fixit: str
+
+    def applies(self, relpath: str) -> bool:
+        """Whether the rule runs on the file at repo-relative ``relpath``."""
+        ...
+
+    def check(
+        self, tree: ast.Module, relpath: str
+    ) -> Iterator[tuple[int, str]]:
+        """Yield ``(line, message)`` violations found in ``tree``."""
+        ...
+
+
+def _suppressions(
+    source: str,
+) -> tuple[frozenset[str], dict[int, frozenset[str]]]:
+    """``(file-wide rules, line -> rules)`` silenced in ``source``."""
+    file_wide: set[str] = set()
+    by_line: dict[int, frozenset[str]] = {}
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_FILE_RE.search(line)
+        if match:
+            file_wide.update(match.group("rules").split())
+            continue
+        match = _ALLOW_LINE_RE.search(line)
+        if match:
+            by_line[line_no] = frozenset(match.group("rules").split())
+    return frozenset(file_wide), by_line
+
+
+def lint_source(
+    source: str, relpath: str, rules: Iterable[LintRule]
+) -> list[LintFinding]:
+    """Run every in-scope rule over one file's source text."""
+    in_scope = [rule for rule in rules if rule.applies(relpath)]
+    if not in_scope:
+        return []
+    tree = ast.parse(source, filename=relpath)
+    file_wide, by_line = _suppressions(source)
+    findings = []
+    for rule in in_scope:
+        if rule.rule_id in file_wide:
+            continue
+        for line, message in rule.check(tree, relpath):
+            if rule.rule_id in by_line.get(line, frozenset()):
+                continue
+            findings.append(
+                LintFinding(
+                    path=relpath, line=line, rule=rule.rule_id, message=message
+                )
+            )
+    return sorted(findings)
+
+
+def iter_python_files(root: Path, targets: Iterable[str]) -> Iterator[Path]:
+    """Every ``.py`` file under the given targets (files or directories)."""
+    for target in targets:
+        path = (root / target).resolve() if not Path(target).is_absolute() else Path(target)
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+def lint_paths(
+    root: Path, targets: Iterable[str], rules: Iterable[LintRule]
+) -> list[LintFinding]:
+    """Lint every Python file under ``targets``, relative to repo ``root``."""
+    rules = list(rules)
+    findings: list[LintFinding] = []
+    for path in iter_python_files(root, targets):
+        try:
+            relpath = path.relative_to(root).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        findings.extend(
+            lint_source(path.read_text(encoding="utf-8"), relpath, rules)
+        )
+    return sorted(findings)

@@ -1,0 +1,448 @@
+"""Repo-specific determinism and invariant rules.
+
+Rule catalog (IDs are stable; ``# lint: allow``/``allow-file`` reference
+them):
+
+=========  =============================================================
+DET101     unseeded randomness in the deterministic core (sim/mem/cpu/
+           prefetch/core): module-level ``random.*`` calls share hidden
+           global state, so two runs of the same config can diverge
+DET102     wall-clock reads in the deterministic core: ``time.*`` /
+           ``datetime.now`` leak host timing into simulated results
+DET103     iteration over a set without ``sorted()``: set order varies
+           with hash seeding, so derived output is not reproducible
+SLOT201    hot-path class without ``__slots__`` in ``mem/`` or
+           ``isa/decode.py``: per-instance dicts bloat the simulator's
+           innermost structures
+CFG301     config-tree dataclass field that cannot survive a JSON round
+           trip: result-store keys fingerprint these configs
+POOL401    lambda or nested function submitted to the worker pool: it
+           does not pickle into worker processes
+=========  =============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+#: Modules whose behaviour must be a pure function of the configuration.
+DETERMINISTIC_SCOPE = (
+    "src/repro/sim/",
+    "src/repro/mem/",
+    "src/repro/cpu/",
+    "src/repro/prefetch/",
+    "src/repro/core/",
+)
+
+#: Files holding the ``SystemConfig`` dataclass tree.
+CONFIG_TREE_FILES = (
+    "src/repro/sim/config.py",
+    "src/repro/mem/hierarchy.py",
+    "src/repro/cpu/core.py",
+    "src/repro/core/config.py",
+)
+
+_WALL_CLOCK_FNS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of an expression (``''`` when not a name)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        prefix = _dotted(node.value)
+        return f"{prefix}.{node.attr}" if prefix else node.attr
+    return ""
+
+
+class _PrefixScopedRule:
+    """Base: rule active for files under any of ``self.scope`` prefixes."""
+
+    scope: tuple[str, ...] = ()
+
+    def applies(self, relpath: str) -> bool:
+        return any(
+            relpath.startswith(prefix) or relpath == prefix.rstrip("/")
+            for prefix in self.scope
+        )
+
+
+class UnseededRandomRule(_PrefixScopedRule):
+    """DET101: the deterministic core must not consume global randomness."""
+
+    rule_id = "DET101"
+    description = "unseeded randomness in the deterministic core"
+    fixit = "thread an explicit `random.Random(seed)` through the config"
+    scope = DETERMINISTIC_SCOPE
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [a.name for a in node.names if a.name != "Random"]
+                if bad:
+                    yield (
+                        node.lineno,
+                        f"`from random import {', '.join(bad)}` pulls in "
+                        "globally-seeded functions",
+                    )
+            elif isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                if name.startswith("random.") and name != "random.Random":
+                    yield (
+                        node.lineno,
+                        f"`{name}()` uses the global (unseeded) RNG",
+                    )
+                elif name == "random.Random" and not (
+                    node.args or node.keywords
+                ):
+                    yield (
+                        node.lineno,
+                        "`random.Random()` with no seed is nondeterministic",
+                    )
+                # numpy.random.*, np.random.* — but not random.Random(seed),
+                # which the branches above already classified as fine.
+                elif not name.startswith("random.") and ".random." in f".{name}":
+                    yield (
+                        node.lineno,
+                        f"`{name}()` draws from a global RNG namespace",
+                    )
+
+
+class WallClockRule(_PrefixScopedRule):
+    """DET102: simulated time must come from the simulator, not the host."""
+
+    rule_id = "DET102"
+    description = "wall-clock read in the deterministic core"
+    fixit = "use the simulated cycle counter (or move timing out of the core)"
+    scope = DETERMINISTIC_SCOPE
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                bad = [a.name for a in node.names if a.name in _WALL_CLOCK_FNS]
+                if bad:
+                    yield (
+                        node.lineno,
+                        f"`from time import {', '.join(bad)}` imports a "
+                        "wall-clock source",
+                    )
+            elif isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                if name.startswith("time.") and name[5:] in _WALL_CLOCK_FNS:
+                    yield (node.lineno, f"`{name}()` reads the wall clock")
+                elif (
+                    "." in name
+                    and name.rsplit(".", 1)[1] in _DATETIME_FNS
+                    and "datetime" in name
+                ):
+                    yield (node.lineno, f"`{name}()` reads the wall clock")
+
+
+def _is_setish(node: ast.AST, set_names: frozenset[str]) -> bool:
+    """Whether an expression statically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and _dotted(node.func) in (
+        "set",
+        "frozenset",
+    ):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+    ):
+        return _is_setish(node.left, set_names) or _is_setish(
+            node.right, set_names
+        )
+    return False
+
+
+class SetIterationRule:
+    """DET103: never iterate a set directly — order depends on hash seeds.
+
+    Tracks names assigned set-valued expressions within each function body
+    (and at module level), then flags ``for``/comprehension iteration over
+    any set-valued expression that is not wrapped in ``sorted()``.
+    """
+
+    rule_id = "DET103"
+    description = "iteration over a set without sorted()"
+    fixit = "wrap the iterable in sorted(...) to fix the visit order"
+
+    def applies(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    def _scope_check(
+        self, body: list[ast.stmt]
+    ) -> Iterator[tuple[int, str]]:
+        set_names: set[str] = set()
+        nested: list[list[ast.stmt]] = []
+
+        def scan(statements: list[ast.stmt]) -> Iterator[tuple[int, str]]:
+            for stmt in statements:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested.append(stmt.body)
+                    continue
+                if isinstance(stmt, ast.ClassDef):
+                    nested.append(stmt.body)
+                    continue
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Assign) and isinstance(
+                        node.value, ast.AST
+                    ):
+                        if _is_setish(node.value, frozenset(set_names)):
+                            for target in node.targets:
+                                if isinstance(target, ast.Name):
+                                    set_names.add(target.id)
+                    elif isinstance(node, ast.AnnAssign) and node.value:
+                        if _is_setish(
+                            node.value, frozenset(set_names)
+                        ) and isinstance(node.target, ast.Name):
+                            set_names.add(node.target.id)
+                for node in ast.walk(stmt):
+                    iters: list[ast.expr] = []
+                    if isinstance(node, (ast.For, ast.AsyncFor)):
+                        iters.append(node.iter)
+                    elif isinstance(
+                        node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+                    ):
+                        iters.extend(gen.iter for gen in node.generators)
+                    for candidate in iters:
+                        if _is_setish(candidate, frozenset(set_names)):
+                            yield (
+                                candidate.lineno,
+                                "set iteration order varies across runs",
+                            )
+
+        yield from scan(body)
+        while nested:
+            yield from self._scope_check(nested.pop(0))
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[tuple[int, str]]:
+        yield from self._scope_check(list(tree.body))
+
+
+def _has_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__slots__"
+            for t in stmt.targets
+        ):
+            return True
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__slots__"
+        ):
+            return True
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call) and _dotted(
+            decorator.func
+        ).endswith("dataclass"):
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "slots"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return True
+    return False
+
+
+_SLOT_EXEMPT_BASES = ("Error", "Exception", "Enum", "Protocol", "NamedTuple")
+
+
+class SlotsRequiredRule(_PrefixScopedRule):
+    """SLOT201: hot-path classes carry no per-instance ``__dict__``."""
+
+    rule_id = "SLOT201"
+    description = "hot-path class without __slots__"
+    fixit = "add __slots__ (or @dataclass(slots=True))"
+    scope = ("src/repro/mem/", "src/repro/isa/decode.py")
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if any(
+                _dotted(base).rsplit(".", 1)[-1].endswith(_SLOT_EXEMPT_BASES)
+                for base in node.bases
+            ):
+                continue
+            if not _has_slots(node):
+                yield (
+                    node.lineno,
+                    f"class {node.name} allocates a per-instance __dict__",
+                )
+
+
+_JSON_LEAVES = frozenset({"int", "float", "str", "bool", "None"})
+
+
+def _json_roundtrippable(annotation: ast.expr) -> bool:
+    """Conservative check that a field annotation survives JSON encoding."""
+    if isinstance(annotation, ast.Constant):
+        if annotation.value is None:
+            return True
+        if isinstance(annotation.value, str):  # quoted annotation
+            try:
+                parsed = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return False
+            return _json_roundtrippable(parsed)
+        return False
+    if isinstance(annotation, ast.Name):
+        name = annotation.id
+        return (
+            name in _JSON_LEAVES
+            or name.endswith("Config")
+            or name.endswith("Spec")
+        )
+    if isinstance(annotation, ast.Attribute):
+        name = annotation.attr
+        return name.endswith("Config") or name.endswith("Spec")
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _json_roundtrippable(annotation.left) and _json_roundtrippable(
+            annotation.right
+        )
+    if isinstance(annotation, ast.Subscript):
+        container = _dotted(annotation.value).rsplit(".", 1)[-1]
+        inner = annotation.slice
+        parts = list(inner.elts) if isinstance(inner, ast.Tuple) else [inner]
+        if container in ("tuple", "Tuple", "list", "List", "Sequence"):
+            return all(
+                _json_roundtrippable(p)
+                for p in parts
+                if not (isinstance(p, ast.Constant) and p.value is Ellipsis)
+            )
+        if container in ("dict", "Dict", "Mapping"):
+            if len(parts) != 2:
+                return False
+            key = parts[0]
+            return (
+                isinstance(key, ast.Name)
+                and key.id == "str"
+                and _json_roundtrippable(parts[1])
+            )
+        if container in ("Optional",):
+            return all(_json_roundtrippable(p) for p in parts)
+        return False
+    return False
+
+
+class ConfigJsonRule:
+    """CFG301: every field in the SystemConfig tree must round-trip as JSON."""
+
+    rule_id = "CFG301"
+    description = "config-tree dataclass field not JSON-round-trippable"
+    fixit = "use int/float/str/bool, tuples of those, or a nested *Config"
+
+    def applies(self, relpath: str) -> bool:
+        return relpath in CONFIG_TREE_FILES
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith(("Config", "Spec")):
+                continue
+            if not any(
+                _dotted(d.func if isinstance(d, ast.Call) else d).endswith(
+                    "dataclass"
+                )
+                for d in node.decorator_list
+            ):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                if not isinstance(stmt.target, ast.Name):
+                    continue
+                if stmt.target.id.startswith("_"):
+                    continue
+                if not _json_roundtrippable(stmt.annotation):
+                    yield (
+                        stmt.lineno,
+                        f"field {node.name}.{stmt.target.id} cannot round-trip "
+                        "through JSON",
+                    )
+
+
+class PoolPicklableRule:
+    """POOL401: work submitted to the pool must pickle into worker processes."""
+
+    rule_id = "POOL401"
+    description = "lambda or nested function handed to the worker pool"
+    fixit = "submit a module-level callable (see runner.executor._execute)"
+
+    def applies(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    @staticmethod
+    def _is_pool_call(node: ast.Call) -> bool:
+        name = _dotted(node.func)
+        short = name.rsplit(".", 1)[-1]
+        if short == "submit":
+            return True
+        if short == "run_batch":
+            return True
+        if short == "run" and isinstance(node.func, ast.Attribute):
+            receiver = _dotted(node.func.value).rsplit(".", 1)[-1]
+            return "pool" in receiver.lower()
+        return False
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[tuple[int, str]]:
+        # Names of functions defined inside an enclosing function (won't
+        # pickle: pickle serialises functions by qualified name).
+        nested_defs: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for child in ast.walk(node):
+                    if child is node:
+                        continue
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        nested_defs.add(child.name)
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and self._is_pool_call(node)):
+                continue
+            operands = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in operands:
+                if isinstance(arg, ast.Lambda):
+                    yield (
+                        arg.lineno,
+                        "lambdas do not pickle into pool workers",
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in nested_defs:
+                    yield (
+                        arg.lineno,
+                        f"nested function `{arg.id}` does not pickle into "
+                        "pool workers",
+                    )
+
+
+LINT_RULES = (
+    UnseededRandomRule(),
+    WallClockRule(),
+    SetIterationRule(),
+    SlotsRequiredRule(),
+    ConfigJsonRule(),
+    PoolPicklableRule(),
+)
