@@ -224,6 +224,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         secrets=args.secrets,
         jobs=args.jobs,
         store=_store_for(args),
+        reuse_snapshots=not args.no_reuse_snapshots,
     )
     print(scenarios.render(result))
     return 0
@@ -491,6 +492,12 @@ def main(argv: list[str] | None = None) -> int:
     scenarios_cmd.add_argument(
         "--jobs", type=_jobs_arg, default=1,
         help="parallel simulation processes (0 = all cores)",
+    )
+    scenarios_cmd.add_argument(
+        "--no-reuse-snapshots", action="store_true",
+        help="rebuild the system for every trial secret instead of "
+        "replaying each cell off one warmed snapshot (slower; results "
+        "are byte-identical either way)",
     )
     _add_store_flags(scenarios_cmd)
     scenarios_cmd.set_defaults(handler=_cmd_scenarios)

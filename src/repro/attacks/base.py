@@ -139,12 +139,15 @@ class CacheAttack:
 
     # -- orchestration ------------------------------------------------------------
 
-    def run(
-        self,
-        system_config: SystemConfig | None = None,
-        max_steps: int = 20_000_000,
-    ) -> AttackOutcome:
-        """Build, simulate and classify one attack run."""
+    def prepare(
+        self, system_config: SystemConfig | None = None
+    ) -> "tuple[object, SystemConfig]":
+        """Build phase: programs + configured system, ready to simulate.
+
+        Returns ``(system, resolved_config)``.  Split out of :meth:`run` so
+        the snapshot-replay runner (:mod:`repro.attacks.replay`) can build
+        once, warm up, and re-simulate many trials off a restored image.
+        """
         config = system_config or SystemConfig()
         config = replace(
             config,
@@ -152,8 +155,12 @@ class CacheAttack:
             core=self.adjust_core_config(config.core),
         )
         programs = self.build_programs()
-        system = build_system(programs, config)
-        result = system.run(max_steps=max_steps)
+        return build_system(programs, config), config
+
+    def classify(
+        self, system, config: SystemConfig, result: RunResult
+    ) -> AttackOutcome:
+        """Classification phase: read back latencies, build the outcome."""
         latencies = [
             system.hierarchy.read_word(self.layout.result_addr(index))
             for index in range(self.options.num_indices)
@@ -168,3 +175,13 @@ class CacheAttack:
             candidate_is_slow=self.candidate_is_slow,
             run_result=result,
         )
+
+    def run(
+        self,
+        system_config: SystemConfig | None = None,
+        max_steps: int = 20_000_000,
+    ) -> AttackOutcome:
+        """Build, simulate and classify one attack run."""
+        system, config = self.prepare(system_config)
+        result = system.run(max_steps=max_steps)
+        return self.classify(system, config, result)

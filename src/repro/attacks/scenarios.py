@@ -196,10 +196,24 @@ def run(
     jobs: int = 1,
     store: ResultStore | None = None,
     pool: WorkerPool | None = None,
+    reuse_snapshots: bool = True,
 ) -> ScenarioResult:
-    """Run and score the whole grid through one ``run_batch``."""
+    """Run and score the whole grid through one ``run_batch``.
+
+    ``reuse_snapshots`` (default on) builds each cell's system once, warms
+    it to the victim's secret load, and replays every trial secret off the
+    restored snapshot — byte-identical probes, a multiple faster (see
+    README "Crypto-victim scenarios"); pass ``False`` to force the
+    rebuild-per-trial path.
+    """
     specs, trial_jobs = build_grid(victims, attacks, defenses, secrets)
-    probes = run_batch(trial_jobs, workers=jobs, store=store, pool=pool)
+    probes = run_batch(
+        trial_jobs,
+        workers=jobs,
+        store=store,
+        pool=pool,
+        reuse_snapshots=reuse_snapshots,
+    )
     cells = slice_trials(specs, probes, secrets)
     return ScenarioResult(
         victims=tuple(victims),

@@ -13,6 +13,22 @@ DiffMin-based prefetching (challenge C4).
 
 from __future__ import annotations
 
+from repro.snapshot import require_keys
+
+_SNAP_KEYS = (
+    "inst_addr",
+    "valid",
+    "entries",
+    "stamps",
+    "clock",
+    "diff_min",
+    "protected",
+    "protected_scale",
+    "protected_blk",
+    "guided_prefetches",
+    "last_touch",
+)
+
 
 class AccessBuffer:
     """Per-load-PC block-address history with DiffMin estimation."""
@@ -59,6 +75,37 @@ class AccessBuffer:
         self.protected_blk = None
         self.guided_prefetches = 0
         self.last_touch = 0
+
+    def snapshot(self) -> dict:
+        """All mutable state (``capacity`` is configuration, not state)."""
+        return {
+            "inst_addr": self.inst_addr,
+            "valid": self.valid,
+            "entries": tuple(self.entries),
+            "stamps": tuple(self._stamps),
+            "clock": self._clock,
+            "diff_min": self.diff_min,
+            "protected": self.protected,
+            "protected_scale": self.protected_scale,
+            "protected_blk": self.protected_blk,
+            "guided_prefetches": self.guided_prefetches,
+            "last_touch": self.last_touch,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot`; list contents replaced in place."""
+        require_keys(data, _SNAP_KEYS, "AccessBuffer")
+        self.inst_addr = data["inst_addr"]
+        self.valid = data["valid"]
+        self.entries[:] = data["entries"]
+        self._stamps[:] = data["stamps"]
+        self._clock = data["clock"]
+        self.diff_min = data["diff_min"]
+        self.protected = data["protected"]
+        self.protected_scale = data["protected_scale"]
+        self.protected_blk = data["protected_blk"]
+        self.guided_prefetches = data["guided_prefetches"]
+        self.last_touch = data["last_touch"]
 
     @property
     def valid_entries(self) -> int:

@@ -16,7 +16,9 @@ Four stages on every load (paper Fig. 6):
 from __future__ import annotations
 
 from repro.core.access_buffer import AccessBuffer
+from repro.errors import SnapshotError
 from repro.prefetch.base import ContainsProbe, Observation, PrefetchRequest
+from repro.snapshot import require_keys
 from repro.utils.addr import AddressMap
 from repro.utils.lru import LRUTracker
 
@@ -52,6 +54,37 @@ class AccessTracker:
         self.guided_proposals = 0
         self.allocation_failures = 0
 
+    def snapshot(self) -> dict:
+        """All mutable AT state (the buffer pool itself is fixed-size)."""
+        return {
+            "buffers": tuple(buffer.snapshot() for buffer in self.buffers),
+            "lru": self._lru.snapshot(),
+            "proposals": self.proposals,
+            "guided_proposals": self.guided_proposals,
+            "allocation_failures": self.allocation_failures,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot`; buffer objects mutated in place."""
+        require_keys(
+            data,
+            ("buffers", "lru", "proposals", "guided_proposals",
+             "allocation_failures"),
+            "AccessTracker",
+        )
+        snaps = data["buffers"]
+        if len(snaps) != len(self.buffers):
+            raise SnapshotError(
+                f"AccessTracker: snapshot has {len(snaps)} buffers, "
+                f"tracker has {len(self.buffers)}"
+            )
+        for buffer, snap in zip(self.buffers, snaps):
+            buffer.restore(snap)
+        self._lru.restore(data["lru"])
+        self.proposals = data["proposals"]
+        self.guided_proposals = data["guided_proposals"]
+        self.allocation_failures = data["allocation_failures"]
+
     # -- queries ---------------------------------------------------------------
 
     def buffer_for_pc(self, pc: int) -> AccessBuffer | None:
@@ -67,31 +100,36 @@ class AccessTracker:
     # -- stage 1: allocation ------------------------------------------------------
 
     def allocate(self, pc: int) -> AccessBuffer | None:
-        """Find or allocate the buffer associated with ``pc``."""
-        buffer = self.buffer_for_pc(pc)
-        if buffer is None:
-            buffer = self._allocate_new(pc)
-            if buffer is None:
-                self.allocation_failures += 1
-                return None
-        self._lru.touch(id(buffer))
-        return buffer
+        """Find or allocate the buffer associated with ``pc``.
 
-    def _allocate_new(self, pc: int) -> AccessBuffer | None:
-        for buffer in self.buffers:
+        The recency tracker is keyed by *pool index* (stable across
+        snapshot/restore, unlike ``id()``); candidate order is pool order
+        either way, so victim selection is unchanged.
+        """
+        buffers = self.buffers
+        for index, buffer in enumerate(buffers):
+            if buffer.valid and buffer.inst_addr == pc:
+                self._lru.touch(index)
+                return buffer
+        index = self._allocate_new(pc)
+        if index is None:
+            self.allocation_failures += 1
+            return None
+        self._lru.touch(index)
+        return buffers[index]
+
+    def _allocate_new(self, pc: int) -> int | None:
+        for index, buffer in enumerate(self.buffers):
             if not buffer.valid:
                 buffer.reset(pc)
-                return buffer
-        candidates = [id(b) for b in self.buffers if not b.protected]
+                return index
+        candidates = [i for i, b in enumerate(self.buffers) if not b.protected]
         if not candidates:
             # Every buffer is protected: no replacement is allowed (C3).
             return None
-        victim_id = self._lru.victim(candidates)
-        for buffer in self.buffers:
-            if id(buffer) == victim_id:
-                buffer.reset(pc)
-                return buffer
-        raise AssertionError("LRU victim vanished")  # pragma: no cover
+        victim = self._lru.victim(candidates)
+        self.buffers[victim].reset(pc)
+        return victim
 
     # -- stages 2-4: record + prefetch ---------------------------------------------
 

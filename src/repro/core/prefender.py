@@ -20,7 +20,9 @@ from repro.core.access_tracker import AccessTracker
 from repro.core.config import PrefenderConfig
 from repro.core.record_protector import RecordProtector
 from repro.core.scale_tracker import ScaleTracker
+from repro.errors import SnapshotError
 from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
+from repro.snapshot import require_keys
 from repro.utils.addr import AddressMap
 
 
@@ -71,6 +73,57 @@ class Prefender(Prefetcher):
             self.access_tracker.reset()
         if self.record_protector is not None:
             self.record_protector.reset()
+
+    def snapshot(self) -> dict:
+        """Compose ST/AT/RP snapshots (``None`` for disabled components)."""
+        buffers = (
+            self.access_tracker.buffers
+            if self.access_tracker is not None
+            else ()
+        )
+        return {
+            "st": (
+                self.scale_tracker.snapshot()
+                if self.scale_tracker is not None
+                else None
+            ),
+            "at": (
+                self.access_tracker.snapshot()
+                if self.access_tracker is not None
+                else None
+            ),
+            "rp": (
+                self.record_protector.snapshot(buffers)
+                if self.record_protector is not None
+                else None
+            ),
+        }
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot`; component set must match config."""
+        require_keys(data, ("st", "at", "rp"), "Prefender")
+        for label, component, snap in (
+            ("scale_tracker", self.scale_tracker, data["st"]),
+            ("access_tracker", self.access_tracker, data["at"]),
+            ("record_protector", self.record_protector, data["rp"]),
+        ):
+            if (component is None) != (snap is None):
+                raise SnapshotError(
+                    f"Prefender: {label} is "
+                    f"{'disabled' if component is None else 'enabled'} but "
+                    f"the snapshot says otherwise"
+                )
+        if self.scale_tracker is not None:
+            self.scale_tracker.restore(data["st"])
+        if self.access_tracker is not None:
+            self.access_tracker.restore(data["at"])
+        if self.record_protector is not None:
+            buffers = (
+                self.access_tracker.buffers
+                if self.access_tracker is not None
+                else ()
+            )
+            self.record_protector.restore(data["rp"], buffers)
 
     # -- queries ------------------------------------------------------------------
 

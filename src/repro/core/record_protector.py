@@ -33,6 +33,7 @@ from repro.core.access_buffer import AccessBuffer
 from repro.core.access_tracker import AccessTracker
 from repro.core.scale_buffer import ScaleBuffer
 from repro.prefetch.base import Observation
+from repro.snapshot import require_keys
 
 
 class RecordProtector:
@@ -64,6 +65,44 @@ class RecordProtector:
         self.unprotections = 0
         self.sweep_unprotections = 0
         self._protected.clear()
+
+    def snapshot(self, buffers: list[AccessBuffer] | tuple = ()) -> dict:
+        """All mutable RP state.
+
+        Args:
+            buffers: the Access Tracker's buffer pool.  ``_protected``
+                holds live :class:`AccessBuffer` references, which cannot
+                survive a snapshot; they are stored as indices into this
+                pool instead (the pool is fixed — buffers are reset in
+                place, never replaced).  The composing
+                :class:`~repro.core.prefender.Prefender` supplies it.
+        """
+        index_of = {id(buffer): i for i, buffer in enumerate(buffers)}
+        return {
+            "scale_buffer": self.scale_buffer.snapshot(),
+            "protections": self.protections,
+            "unprotections": self.unprotections,
+            "sweep_unprotections": self.sweep_unprotections,
+            "protected": tuple(
+                index_of[id(buffer)] for buffer in self._protected
+            ),
+        }
+
+    def restore(
+        self, data: dict, buffers: list[AccessBuffer] | tuple = ()
+    ) -> None:
+        """Inverse of :meth:`snapshot` (same ``buffers`` pool required)."""
+        require_keys(
+            data,
+            ("scale_buffer", "protections", "unprotections",
+             "sweep_unprotections", "protected"),
+            "RecordProtector",
+        )
+        self.scale_buffer.restore(data["scale_buffer"])
+        self.protections = data["protections"]
+        self.unprotections = data["unprotections"]
+        self.sweep_unprotections = data["sweep_unprotections"]
+        self._protected[:] = [buffers[index] for index in data["protected"]]
 
     # -- stage 1 ---------------------------------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.snapshot import require_keys
 from repro.utils.lru import LRUTracker
 
 
@@ -48,10 +49,16 @@ class ScaleBuffer:
         return list(self._records)
 
     def record(self, sc: int, blk: int) -> None:
-        """Stage 1: record a (sc, blk) pattern with redundancy reduction."""
+        """Stage 1: record a (sc, blk) pattern with redundancy reduction.
+
+        Recency is keyed by *slot index* (stable across snapshot/restore,
+        unlike ``id()``); slots are only ever appended or updated in place,
+        and candidate order is slot order either way, so victim selection
+        is unchanged.
+        """
         if sc <= 0:
             return
-        for record in self._records:
+        for index, record in enumerate(self._records):
             overlap = (blk - record.blk) % min(sc, record.sc) == 0
             if not overlap:
                 continue
@@ -62,23 +69,48 @@ class ScaleBuffer:
                 self.updated += 1
             else:
                 self.subsumed += 1
-            self._lru.touch(id(record))
+            self._lru.touch(index)
             return
         if len(self._records) < self.capacity:
-            record = ScaleRecord(sc=sc, blk=blk)
-            self._records.append(record)
+            self._records.append(ScaleRecord(sc=sc, blk=blk))
+            index = len(self._records) - 1
         else:
-            victim_id = self._lru.victim([id(r) for r in self._records])
-            record = next(r for r in self._records if id(r) == victim_id)
+            index = self._lru.victim(range(len(self._records)))
+            record = self._records[index]
             record.sc = sc
             record.blk = blk
-        self._lru.touch(id(record))
+        self._lru.touch(index)
         self.records_made += 1
 
     def match(self, block_addr: int) -> ScaleRecord | None:
         """Stage 2 hit check: does ``block_addr`` fit a recorded pattern?"""
-        for record in self._records:
+        for index, record in enumerate(self._records):
             if (block_addr - record.blk) % record.sc == 0:
-                self._lru.touch(id(record))
+                self._lru.touch(index)
                 return record
         return None
+
+    def snapshot(self) -> dict:
+        """All mutable state as flat tuples."""
+        return {
+            "records": tuple((r.sc, r.blk) for r in self._records),
+            "lru": self._lru.snapshot(),
+            "records_made": self.records_made,
+            "subsumed": self.subsumed,
+            "updated": self.updated,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot`."""
+        require_keys(
+            data,
+            ("records", "lru", "records_made", "subsumed", "updated"),
+            "ScaleBuffer",
+        )
+        self._records[:] = [
+            ScaleRecord(sc=sc, blk=blk) for sc, blk in data["records"]
+        ]
+        self._lru.restore(data["lru"])
+        self.records_made = data["records_made"]
+        self.subsumed = data["subsumed"]
+        self.updated = data["updated"]

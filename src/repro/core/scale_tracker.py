@@ -10,6 +10,7 @@ to include ``addr - sc`` and ``addr + sc``, and those lines are prefetched
 from __future__ import annotations
 
 from repro.prefetch.base import ContainsProbe, Observation, PrefetchRequest
+from repro.snapshot import require_keys
 from repro.utils.addr import AddressMap
 
 
@@ -27,6 +28,16 @@ class ScaleTracker:
     def reset(self) -> None:
         self.proposals = 0
         self.triggers = 0
+
+    def snapshot(self) -> dict:
+        """ST state is just its counters (the tracker itself is stateless)."""
+        return {"proposals": self.proposals, "triggers": self.triggers}
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot`."""
+        require_keys(data, ("proposals", "triggers"), "ScaleTracker")
+        self.proposals = data["proposals"]
+        self.triggers = data["triggers"]
 
     def scale_in_range(self, scale: int) -> bool:
         """The paper's trigger condition: cacheline < sc < page."""

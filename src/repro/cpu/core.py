@@ -63,6 +63,7 @@ from repro.isa.decode import (
 from repro.isa.program import Program
 from repro.isa.registers import SIGN_BIT, WORD_MASK, RegisterFile
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.snapshot import require_keys
 
 _TWO_POW_64 = 1 << 64
 
@@ -82,6 +83,13 @@ class CoreConfig:
     # always pay the full latency — a timed load cannot be overlapped,
     # which is exactly why attackers serialise their measurements.
     load_hide_cycles: int = 0
+    # Collapse pure `sub rX,rX,1; bne rX,zero,back` countdown loops into a
+    # single scheduler step with the closed-form state delta (cycle- and
+    # counter-exact; tests/test_golden_parity.py and the fuse-on/off tests
+    # in tests/test_snapshot_parity.py pin the equivalence).  Busy-wait
+    # delay loops dominate attack instruction counts, so interpreting them
+    # iteration by iteration dominated scenario wall-time.
+    fuse_countdown_loops: bool = True
     speculative_execution: bool = False
     resolve_delay: int = 60
     branch_miss_penalty: int = 8
@@ -103,6 +111,25 @@ class CoreStats:
     mispredictions: int = 0
     squashes: int = 0
     load_latency_total: int = 0
+
+
+_CORE_STATS_FIELDS = tuple(CoreStats.__dataclass_fields__)
+_CORE_SNAP_KEYS = (
+    "regs",
+    "tracks",
+    "pc_index",
+    "time",
+    "halted",
+    "stats",
+    "speculating",
+    "checkpoint_regs",
+    "correct_index",
+    "resolve_time",
+    "spec_count",
+    "store_buffer",
+    "predictor",
+    "serialized",
+)
 
 
 class Core:
@@ -150,6 +177,7 @@ class Core:
         self._mul_cost = config.mul_cost
         self._branch_cost = config.branch_cost
         self._load_hide = config.load_hide_cycles
+        self._fuse_loops = config.fuse_countdown_loops
         self._spec_enabled = config.speculative_execution
         self._resolve_delay = config.resolve_delay
         self._predictor_entries = config.predictor_entries
@@ -187,6 +215,69 @@ class Core:
         table[K_FENCE] = self._op_fence
         table[K_HALT] = self._op_halt
         return table
+
+    # -- snapshot/restore ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All mutable core state as flat tuples.
+
+        The program, decode cache and dispatch table are immutable per core
+        and stay out; registers and calculation tracks are copied because
+        the hot loop aliases them (``_values``/``_tracks``).
+        """
+        return {
+            "regs": tuple(self._values),
+            "tracks": tuple((track.fva, track.sc) for track in self._tracks),
+            "pc_index": self.pc_index,
+            "time": self.time,
+            "halted": self.halted,
+            "stats": tuple(
+                getattr(self.stats, name) for name in _CORE_STATS_FIELDS
+            ),
+            "speculating": self._speculating,
+            "checkpoint_regs": (
+                tuple(self._checkpoint_regs)
+                if self._checkpoint_regs is not None
+                else None
+            ),
+            "correct_index": self._correct_index,
+            "resolve_time": self._resolve_time,
+            "spec_count": self._spec_count,
+            "store_buffer": tuple(self._store_buffer),
+            "predictor": tuple(self._predictor.items()),
+            "serialized": self._serialized,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot`.
+
+        Registers and tracks are written in place so the ``_values`` /
+        ``_tracks`` aliases cached at construction stay valid.
+        """
+        require_keys(data, _CORE_SNAP_KEYS, "Core")
+        self._values[:] = data["regs"]
+        for track, (fva, sc) in zip(self._tracks, data["tracks"]):
+            track.fva = fva
+            track.sc = sc
+        self.pc_index = data["pc_index"]
+        self.time = data["time"]
+        self.halted = data["halted"]
+        for name, value in zip(_CORE_STATS_FIELDS, data["stats"]):
+            setattr(self.stats, name, value)
+        self._speculating = data["speculating"]
+        checkpoint = data["checkpoint_regs"]
+        self._checkpoint_regs = (
+            list(checkpoint) if checkpoint is not None else None
+        )
+        self._correct_index = data["correct_index"]
+        self._resolve_time = data["resolve_time"]
+        self._spec_count = data["spec_count"]
+        self._store_buffer[:] = data["store_buffer"]
+        # Predictor insertion order is its FIFO eviction order; the items
+        # tuple preserves it.
+        self._predictor.clear()
+        self._predictor.update(data["predictor"])
+        self._serialized = data["serialized"]
 
     # -- helpers -----------------------------------------------------------------
 
@@ -684,6 +775,8 @@ class Core:
                 stats.transient_executed += 1
             else:
                 stats.instructions_retired += 1
+                if taken and target == index - 1 and self._fuse_loops:
+                    self._fuse_countdown(index, cond, rs0, rs1)
             return
 
         key = index % self._predictor_entries
@@ -696,6 +789,12 @@ class Core:
             self.pc_index = actual_index
             self.time += self._branch_cost
             stats.instructions_retired += 1
+            if taken and target == index - 1 and self._fuse_loops:
+                # predicted_taken == taken == True implies the 2-bit counter
+                # was >= 2 before this branch, so it is saturated (3) now and
+                # every fused iteration would also predict correctly — the
+                # counter update below is min(3, 3 + m) == 3, a no-op.
+                self._fuse_countdown(index, cond, rs0, rs1)
             return
 
         # Misprediction: checkpoint and follow the wrong path transiently.
@@ -709,6 +808,44 @@ class Core:
         self.pc_index = target if predicted_taken else index + 1
         self.time += self._branch_cost
         stats.instructions_retired += 1  # the branch itself retires
+
+    def _fuse_countdown(self, index: int, cond: int, rs0: int, rs1: int) -> None:
+        """Fast-forward a `sub rX,rX,1; bne rX,zero,back` busy-wait loop.
+
+        Called after a *retired, taken* backwards-by-one branch.  When the
+        branch is `bne rX, zero` and the preceding instruction is exactly
+        `sub rX, rX, 1` (decoded as add_ri with imm -1), the remaining
+        iterations are pure ALU work with a constant per-iteration state
+        delta: no memory traffic, no hierarchy calls, no cross-core
+        visibility.  Apply the closed form for all but the final iteration
+        (left interpreted so the not-taken exit takes the normal path).
+
+        The collapsed iterations advance ``time`` in one jump instead of
+        2 * m scheduler steps; since they touch nothing outside this core's
+        registers/calc buffer/counters, every other core observes the same
+        memory-event sequence either way.  Exactness is pinned by
+        tests/test_golden_parity.py (unchanged goldens) and the fuse-on/off
+        differential test in tests/test_snapshot_parity.py.
+        """
+        if cond != 1 or rs1 != 0 or rs0 == 0:
+            return
+        prev = self._decoded[index - 1]
+        # Decode pre-masks immediates, so `sub rX, rX, 1` carries WORD_MASK.
+        if prev[0] != K_ADD_RI or prev[1] != rs0 or prev[2] != rs0 or prev[3] != WORD_MASK:
+            return
+        values = self._values
+        m = values[rs0] - 1  # leave the exiting iteration interpreted
+        if m <= 0:
+            return
+        values[rs0] = 1
+        track = self._tracks[rs0]
+        if track.fva is not None:
+            track.fva = (track.fva - m) & WORD_MASK
+            track.sc = 1
+        self.time += m * (self._base_cost + self._branch_cost)
+        stats = self.stats
+        stats.instructions_retired += 2 * m
+        stats.branches += m
 
     # -- no-effect / serialising / halt -------------------------------------------------
 

@@ -19,9 +19,10 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.cpu.core import Core, CoreConfig
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SnapshotError
 from repro.isa.program import Program
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.snapshot import SNAPSHOT_VERSION, require_keys
 
 
 @dataclass
@@ -93,6 +94,12 @@ class System:
         if sample_fn is None:
             sample_fn = _default_sample
         samples: list[tuple[int, object]] = []
+        if sample_interval:
+            # Sampling cadence counts scheduler steps, and countdown-loop
+            # fusion collapses many steps into one; interpret loops fully so
+            # a sampled run sees the same step sequence as the seed engine.
+            for core in self.cores:
+                core._fuse_loops = False
         active = [core for core in self.cores if not core.halted]
         steps = 0
         while active:
@@ -119,6 +126,66 @@ class System:
                 )
             active = [core for core in active if not core.halted]
         return self._result(samples)
+
+    # -- snapshot/restore ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Versioned whole-system snapshot: every core plus the hierarchy.
+
+        The result is a plain nested dict of immutable leaves (ints, bools,
+        tuples) safe to hold across any number of :meth:`restore` calls.
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "cores": tuple(core.snapshot() for core in self.cores),
+            "hierarchy": self.hierarchy.snapshot(),
+        }
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot` on a same-shape system.
+
+        Raises:
+            SnapshotError: on a version mismatch, an unknown/missing field
+                anywhere in the tree, or a core-count mismatch.
+        """
+        require_keys(data, ("version", "cores", "hierarchy"), "System")
+        if data["version"] != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"snapshot version {data['version']!r} does not match "
+                f"engine version {SNAPSHOT_VERSION}"
+            )
+        if len(data["cores"]) != len(self.cores):
+            raise SnapshotError(
+                f"snapshot has {len(data['cores'])} core(s), "
+                f"system has {len(self.cores)}"
+            )
+        for core, snap in zip(self.cores, data["cores"]):
+            core.restore(snap)
+        self.hierarchy.restore(data["hierarchy"])
+
+    def run_steps(self, steps: int) -> int:
+        """Advance exactly ``steps`` scheduler steps (or until all halt).
+
+        Scheduling order is identical to :meth:`run`: the non-halted core
+        with the smallest local time steps next, ties to the lower core
+        index.  Returns the number of steps actually taken — fewer than
+        ``steps`` only when every core halted first.  The parity harness
+        uses this to stop a run at an arbitrary point, snapshot, and
+        compare resumed executions state-for-state.
+        """
+        taken = 0
+        active = [core for core in self.cores if not core.halted]
+        while active and taken < steps:
+            core = active[0]
+            for candidate in active[1:]:
+                # Strict < keeps the earlier (lower-index) core on ties.
+                if candidate.time < core.time:
+                    core = candidate
+            core.step()
+            taken += 1
+            if core.halted:
+                active = [c for c in active if not c.halted]
+        return taken
 
     def _overrun(self, max_steps: int) -> SimulationError:
         return SimulationError(

@@ -52,3 +52,13 @@ class SimulationError(ReproError):
     The most common cause is a program that fails to halt within the
     configured instruction or cycle budget.
     """
+
+
+class SnapshotError(ReproError):
+    """Raised when a snapshot cannot be restored onto a live system.
+
+    Restoring is strict by design: a version mismatch, an unknown or
+    missing field, or a shape mismatch (wrong core count, wrong buffer
+    pool size) raises instead of silently corrupting simulator state —
+    the parity harness depends on restore being all-or-nothing.
+    """

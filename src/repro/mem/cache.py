@@ -25,6 +25,7 @@ from repro.errors import ConfigError
 from repro.mem.cacheline import CacheLine
 from repro.mem.mshr import MSHRFile
 from repro.mem.memory import MainMemory
+from repro.snapshot import require_keys
 from repro.utils.addr import AddressMap
 
 
@@ -58,6 +59,10 @@ class CacheStats:
         data = {name: getattr(self, name) for name in self.__dataclass_fields__}
         data["miss_rate"] = self.miss_rate
         return data
+
+
+# Field order for the flat stats tuple in Cache.snapshot().
+_CACHE_STATS_FIELDS = tuple(CacheStats.__dataclass_fields__)
 
 
 class MemoryPort:
@@ -418,6 +423,73 @@ class Cache:
         line.invalidate()
         self.stats.flushes += 1
         return True
+
+    # -- snapshot/restore ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All mutable state; only materialised sets are recorded.
+
+        Lazy materialisation is itself state: an unmaterialised set and a
+        materialised all-invalid set behave identically on the demand path,
+        but restore reproduces the exact shape so a restored cache is
+        field-for-field identical to the live cache it was taken from
+        (which is what the state-parity harness compares).
+        """
+        sets = []
+        stamps = self._stamps
+        tags = self._tags
+        for set_index, ways in enumerate(self._sets):
+            if ways is None:
+                continue
+            sets.append((
+                set_index,
+                tuple(
+                    (line.block_addr, line.valid, line.dirty,
+                     line.ready_time, line.prefetched, line.component,
+                     line.useful_counted)
+                    for line in ways
+                ),
+                tuple(stamps[set_index]),
+                tuple(tags[set_index].items()),
+            ))
+        stats = self.stats
+        return {
+            "sets": tuple(sets),
+            "clock": self._clock,
+            "stats": tuple(
+                getattr(stats, name) for name in _CACHE_STATS_FIELDS
+            ),
+            "mshr": self.mshr.snapshot(),
+        }
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot`; line objects are reused in place."""
+        require_keys(data, ("sets", "clock", "stats", "mshr"), self.name)
+        snap_sets = data["sets"]
+        covered = frozenset(entry[0] for entry in snap_sets)
+        sets = self._sets
+        # De-materialise sets the snapshot never saw (restoring an older,
+        # colder image onto a warmer cache).
+        for set_index in range(self.num_sets):
+            if sets[set_index] is not None and set_index not in covered:
+                sets[set_index] = None
+                self._stamps[set_index] = _EMPTY_STAMPS
+                self._tags[set_index].clear()
+        for set_index, lines, stamps, tags in snap_sets:
+            ways = sets[set_index]
+            if ways is None:
+                ways = [CacheLine() for _ in range(self.assoc)]
+                sets[set_index] = ways
+            for line, state in zip(ways, lines):
+                (line.block_addr, line.valid, line.dirty, line.ready_time,
+                 line.prefetched, line.component, line.useful_counted) = state
+            self._stamps[set_index] = list(stamps)
+            self._tags[set_index] = dict(tags)
+        self._clock = data["clock"]
+        stats = self.stats
+        for name, value in zip(_CACHE_STATS_FIELDS, data["stats"]):
+            setattr(stats, name, value)
+        self.mshr.restore(data["mshr"])
 
     def resident_blocks(self) -> list[int]:
         """All valid block addresses (tests/analysis)."""

@@ -31,8 +31,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import SnapshotError
 from repro.mem.cache import Cache, MemoryPort
 from repro.mem.memory import MainMemory
+from repro.snapshot import require_keys
 from repro.prefetch.base import (
     NullPrefetcher,
     Observation,
@@ -341,6 +343,65 @@ class MemoryHierarchy:
         if snooped:
             latency += self.config.prefetchw_snoop_latency
         return AccessOutcome(value=0, latency=latency, level=level)
+
+    # -- snapshot/restore ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All mutable hierarchy state: caches, memory, logs, ownership.
+
+        Prefetchers are per-core state *attached to* the hierarchy, so they
+        snapshot here too (``None`` for cores with no prefetcher attached).
+        """
+        return {
+            "memory": self.memory.snapshot(),
+            "l2": self.l2.snapshot(),
+            "l1ds": tuple(l1d.snapshot() for l1d in self.l1ds),
+            "logs": tuple(
+                (tuple(log.counts.items()), tuple(log.timeline))
+                for log in self._logs
+            ),
+            "exclusive": tuple(self._exclusive.items()),
+            "ownership_steals": self.ownership_steals,
+            "prefetchers": tuple(
+                prefetcher.snapshot() if prefetcher is not None else None
+                for prefetcher in (
+                    self._prefetchers.get(core_id)
+                    for core_id in range(self.num_cores)
+                )
+            ),
+        }
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot`; attachment shape must match."""
+        require_keys(
+            data,
+            ("memory", "l2", "l1ds", "logs", "exclusive",
+             "ownership_steals", "prefetchers"),
+            "MemoryHierarchy",
+        )
+        if len(data["l1ds"]) != self.num_cores:
+            raise SnapshotError(
+                f"MemoryHierarchy: snapshot has {len(data['l1ds'])} L1Ds, "
+                f"hierarchy has {self.num_cores}"
+            )
+        self.memory.restore(data["memory"])
+        self.l2.restore(data["l2"])
+        for l1d, snap in zip(self.l1ds, data["l1ds"]):
+            l1d.restore(snap)
+        for log, (counts, timeline) in zip(self._logs, data["logs"]):
+            log.counts = dict(counts)
+            log.timeline = list(timeline)
+        self._exclusive = dict(data["exclusive"])
+        self.ownership_steals = data["ownership_steals"]
+        for core_id, snap in enumerate(data["prefetchers"]):
+            prefetcher = self._prefetchers.get(core_id)
+            if (prefetcher is None) != (snap is None):
+                raise SnapshotError(
+                    f"MemoryHierarchy: core {core_id} prefetcher attachment "
+                    f"does not match the snapshot"
+                )
+            if prefetcher is not None:
+                prefetcher.restore(snap)
 
     # -- structural queries ---------------------------------------------------
 

@@ -9,6 +9,7 @@ is intentionally not modelled.
 from __future__ import annotations
 
 from repro.isa.program import Program
+from repro.snapshot import require_keys
 
 DEFAULT_MEMORY_LATENCY = 120
 
@@ -37,6 +38,32 @@ class MainMemory:
     def peek(self, addr: int) -> int:
         """Read without counting (tests and analysis)."""
         return self._words.get(addr, 0)
+
+    def poke(self, addr: int, value: int) -> None:
+        """Write without counting (symmetric to :meth:`peek`).
+
+        Snapshot replay uses this to patch trial-dependent data words into
+        a restored image: like ``load_program_data`` at build time, the
+        patch must not perturb the ``reads``/``writes`` counters the parity
+        checks compare.
+        """
+        self._words[addr] = value & ((1 << 64) - 1)
+
+    def snapshot(self) -> dict:
+        """Word store plus access counters (``latency`` is configuration)."""
+        return {
+            "words": dict(self._words),
+            "reads": self.reads,
+            "writes": self.writes,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot`; the stored dict is copied, never
+        aliased, so one snapshot can seed many restores."""
+        require_keys(data, ("words", "reads", "writes"), "MainMemory")
+        self._words = dict(data["words"])
+        self.reads = data["reads"]
+        self.writes = data["writes"]
 
     def load_program_data(self, program: Program) -> None:
         """Apply all of a program's initial data segments."""

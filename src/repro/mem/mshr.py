@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.snapshot import require_keys
+
 
 @dataclass(slots=True)
 class _Entry:
@@ -69,6 +71,49 @@ class MSHRFile:
         # allocate_demand call (None when it squashed nothing); the owning
         # cache reads this to abandon the in-flight fill itself.
         self.last_squashed_block: int | None = None
+
+    def snapshot(self) -> dict:
+        """Outstanding entries (flat tuples, in order) plus counters."""
+        return {
+            "entries": tuple(
+                (e.block_addr, e.ready_time, e.merges, e.is_prefetch,
+                 e.borrows_prefetch_slot, e.demand_consumed)
+                for e in self._entries
+            ),
+            "demand_waits": self.demand_waits,
+            "total_wait_cycles": self.total_wait_cycles,
+            "merges": self.merges,
+            "prefetch_drops": self.prefetch_drops,
+            "prefetch_squashes": self.prefetch_squashes,
+            "last_squashed_block": self.last_squashed_block,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot`."""
+        require_keys(
+            data,
+            ("entries", "demand_waits", "total_wait_cycles", "merges",
+             "prefetch_drops", "prefetch_squashes", "last_squashed_block"),
+            "MSHRFile",
+        )
+        self._entries = [
+            _Entry(
+                block_addr=block_addr,
+                ready_time=ready_time,
+                merges=merges,
+                is_prefetch=is_prefetch,
+                borrows_prefetch_slot=borrows,
+                demand_consumed=consumed,
+            )
+            for (block_addr, ready_time, merges, is_prefetch, borrows,
+                 consumed) in data["entries"]
+        ]
+        self.demand_waits = data["demand_waits"]
+        self.total_wait_cycles = data["total_wait_cycles"]
+        self.merges = data["merges"]
+        self.prefetch_drops = data["prefetch_drops"]
+        self.prefetch_squashes = data["prefetch_squashes"]
+        self.last_squashed_block = data["last_squashed_block"]
 
     def _purge(self, now: int) -> None:
         self._entries = [e for e in self._entries if e.ready_time > now]

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.snapshot import require_keys
+
 
 @dataclass(frozen=True)
 class Observation:
@@ -81,6 +83,14 @@ class Prefetcher:
 
     def reset(self) -> None:
         """Clear all learned state (used between experiment phases)."""
+
+    def snapshot(self) -> dict:
+        """All mutable state; stateless prefetchers return ``{}``."""
+        return {}
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot` (strict-key, in-place)."""
+        require_keys(data, (), type(self).__name__)
 
 
 @dataclass

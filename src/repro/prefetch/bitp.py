@@ -11,6 +11,7 @@ that our ablation benchmark reproduces.
 from __future__ import annotations
 
 from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
+from repro.snapshot import require_keys
 
 
 class BITPPrefetcher(Prefetcher):
@@ -23,6 +24,13 @@ class BITPPrefetcher(Prefetcher):
 
     def reset(self) -> None:
         self.back_invalidation_hits = 0
+
+    def snapshot(self) -> dict:
+        return {"back_invalidation_hits": self.back_invalidation_hits}
+
+    def restore(self, data: dict) -> None:
+        require_keys(data, ("back_invalidation_hits",), "BITPPrefetcher")
+        self.back_invalidation_hits = data["back_invalidation_hits"]
 
     def observe(
         self, observation: Observation, l1d_contains: ContainsProbe

@@ -10,6 +10,7 @@ ones that get dropped.
 from __future__ import annotations
 
 from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
+from repro.snapshot import require_keys
 
 
 class CompositePrefetcher(Prefetcher):
@@ -23,6 +24,17 @@ class CompositePrefetcher(Prefetcher):
     def reset(self) -> None:
         self.primary.reset()
         self.secondary.reset()
+
+    def snapshot(self) -> dict:
+        return {
+            "primary": self.primary.snapshot(),
+            "secondary": self.secondary.snapshot(),
+        }
+
+    def restore(self, data: dict) -> None:
+        require_keys(data, ("primary", "secondary"), "CompositePrefetcher")
+        self.primary.restore(data["primary"])
+        self.secondary.restore(data["secondary"])
 
     def observe(
         self, observation: Observation, l1d_contains: ContainsProbe

@@ -10,6 +10,7 @@ A deterministic xorshift PRNG keeps runs reproducible.
 from __future__ import annotations
 
 from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
+from repro.snapshot import require_keys
 from repro.utils.addr import AddressMap
 
 
@@ -53,6 +54,13 @@ class DisruptivePrefetcher(Prefetcher):
 
     def reset(self) -> None:
         self._rng = _XorShift(self._seed)
+
+    def snapshot(self) -> dict:
+        return {"rng_state": self._rng._state}
+
+    def restore(self, data: dict) -> None:
+        require_keys(data, ("rng_state",), "DisruptivePrefetcher")
+        self._rng._state = data["rng_state"]
 
     def observe(
         self, observation: Observation, l1d_contains: ContainsProbe

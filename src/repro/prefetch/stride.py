@@ -16,6 +16,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
+from repro.snapshot import require_keys
 from repro.utils.addr import AddressMap
 
 
@@ -47,6 +48,23 @@ class StridePrefetcher(Prefetcher):
 
     def reset(self) -> None:
         self._table.clear()
+
+    def snapshot(self) -> dict:
+        # Table order matters: eviction pops the oldest entry.
+        return {
+            "table": tuple(
+                (pc, e.last_addr, e.stride, e.confident)
+                for pc, e in self._table.items()
+            )
+        }
+
+    def restore(self, data: dict) -> None:
+        require_keys(data, ("table",), "StridePrefetcher")
+        self._table.clear()
+        for pc, last_addr, stride, confident in data["table"]:
+            self._table[pc] = _Entry(
+                last_addr=last_addr, stride=stride, confident=confident
+            )
 
     def _entry(self, pc: int, addr: int) -> _Entry:
         entry = self._table.get(pc)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
+from repro.snapshot import require_keys
 from repro.utils.addr import AddressMap
 
 
@@ -32,6 +33,16 @@ class TaggedPrefetcher(Prefetcher):
 
     def reset(self) -> None:
         self._tagged.clear()
+
+    def snapshot(self) -> dict:
+        # Tag order matters: eviction pops the oldest entry.
+        return {"tagged": tuple(self._tagged)}
+
+    def restore(self, data: dict) -> None:
+        require_keys(data, ("tagged",), "TaggedPrefetcher")
+        self._tagged.clear()
+        for block_addr in data["tagged"]:
+            self._tagged[block_addr] = None
 
     def _remember(self, block_addr: int) -> None:
         self._tagged[block_addr] = None

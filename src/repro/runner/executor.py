@@ -27,11 +27,17 @@ from repro.runner.store import ResultStore
 __all__ = ["default_workers", "run_batch"]
 
 
+#: Don't split a replay group below this many trials: each chunk repeats
+#: the cell's warm-up, so tiny chunks trade shared prefix for parallelism.
+_MIN_GROUP_CHUNK = 4
+
+
 def run_batch(
     jobs: Iterable[Any],
     workers: int = 1,
     store: ResultStore | None = None,
     pool: WorkerPool | None = None,
+    reuse_snapshots: bool = False,
 ) -> list[Any]:
     """Run a batch of jobs; results are returned in input order.
 
@@ -48,6 +54,12 @@ def run_batch(
         pool: optional persistent :class:`~repro.runner.pool.WorkerPool`;
             its warm workers execute the batch (and stay alive for the
             caller's next batch) instead of a freshly forked executor.
+        reuse_snapshots: serve eligible ``ScenarioJob`` trials off one
+            warmed system snapshot per (attack, victim, defense) cell
+            (:mod:`repro.attacks.replay`) instead of rebuilding the system
+            for every trial.  Probes are byte-identical to the rebuild
+            path (``tests/test_scenarios.py`` pins this); ineligible jobs
+            fall back to their own ``run()`` transparently.
 
     Returns:
         One result per input job, in input order.
@@ -73,19 +85,28 @@ def run_batch(
         pending_keys.add(key)
         pending.append((key, job))
 
+    # Each unit is (member keys, runnable, is_group): a plain job carries
+    # one key and returns one result; a ScenarioReplayJob group carries its
+    # members' keys and returns one result per member, fanned back out
+    # below.
+    target_tasks = pool.workers if pool is not None else workers
+    units = _plan_units(pending, reuse_snapshots, target_tasks)
+
     if pool is not None:
-        for (key, _), result in zip(
-            pending, pool.run([job for _, job in pending])
-        ):
-            results[key] = result
-    elif workers == 1 or len(pending) <= 1:
-        for key, job in pending:
-            results[key] = job.run()
+        outputs = pool.run([runnable for _, runnable, _ in units])
+    elif workers == 1 or len(units) <= 1:
+        outputs = [runnable.run() for _, runnable, _ in units]
     else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as ppe:
-            futures = [(key, ppe.submit(_execute, job)) for key, job in pending]
-            for key, future in futures:
-                results[key] = future.result()
+        with ProcessPoolExecutor(max_workers=min(workers, len(units))) as ppe:
+            futures = [ppe.submit(_execute, runnable) for _, runnable, _ in units]
+            outputs = [future.result() for future in futures]
+
+    for (unit_keys, _, is_group), output in zip(units, outputs):
+        if is_group:
+            for key, result in zip(unit_keys, output):
+                results[key] = result
+        else:
+            results[unit_keys[0]] = output
 
     if store is not None:
         for key, job in pending:
@@ -93,6 +114,63 @@ def run_batch(
                 store.put(key, job, results[key])
 
     return [results[key] for key in keys]
+
+
+def _plan_units(
+    pending: list[tuple[str, Any]], reuse_snapshots: bool, target_tasks: int
+) -> list[tuple[list[str], Any, bool]]:
+    """Schedule pending jobs into executable units.
+
+    Without snapshot reuse every job is its own unit.  With it, eligible
+    scenario trials are grouped by cell (same attack × victim × defense,
+    secrets neutralised out of the key) into :class:`ScenarioReplayJob`
+    tasks; oversized groups split so at least ``target_tasks`` units exist
+    when the trial counts allow — each chunk re-runs the cell's warm-up,
+    so chunks never shrink below ``_MIN_GROUP_CHUNK`` trials.
+    """
+    if not reuse_snapshots:
+        return [([key], job, False) for key, job in pending]
+    # Imported lazily: the replay module pulls in the attack registry,
+    # which plain (non-scenario) batches never need.
+    from repro.attacks.replay import (
+        ScenarioReplayJob,
+        replay_eligible,
+        replay_group_key,
+    )
+    from repro.runner.job import ScenarioJob
+
+    groups: dict[str, list[tuple[str, Any]]] = {}
+    units: list[tuple[list[str], Any, bool]] = []
+    for key, job in pending:
+        if isinstance(job, ScenarioJob) and replay_eligible(job):
+            groups.setdefault(replay_group_key(job), []).append((key, job))
+        else:
+            units.append(([key], job, False))
+    chunks = _split_groups(list(groups.values()), target_tasks - len(units))
+    for chunk in chunks:
+        units.append(
+            (
+                [key for key, _ in chunk],
+                ScenarioReplayJob(tuple(job for _, job in chunk)),
+                True,
+            )
+        )
+    return units
+
+
+def _split_groups(
+    groups: list[list[tuple[str, Any]]], target: int
+) -> list[list[tuple[str, Any]]]:
+    """Halve the largest group until ``target`` tasks exist (or nothing
+    splittable remains); keeps all workers busy on few-cell grids."""
+    while len(groups) < target:
+        largest = max(groups, key=len, default=None)
+        if largest is None or len(largest) < 2 * _MIN_GROUP_CHUNK:
+            break
+        groups.remove(largest)
+        middle = len(largest) // 2
+        groups.extend([largest[:middle], largest[middle:]])
+    return groups
 
 
 def _execute(job: Any) -> Any:

@@ -468,14 +468,23 @@ class ScenarioJob:
         return job_key(self)
 
     def run(self) -> ScenarioProbe:
-        from repro.workloads.crypto import get_victim
-
         outcome = AttackJob(
             attack=self.attack,
             system=self.system,
             options=self.options,
             max_steps=self.max_steps,
         ).run()
+        return self.probe_from_outcome(outcome)
+
+    def probe_from_outcome(self, outcome: AttackOutcome) -> ScenarioProbe:
+        """Score one classified outcome against the victim's footprint.
+
+        Shared by :meth:`run` (rebuild path) and the snapshot-replay runner
+        (:mod:`repro.attacks.replay`), so both paths produce probes through
+        the same scoring code.
+        """
+        from repro.workloads.crypto import get_victim
+
         expected = get_victim(self.options.victim).expected_indices(
             self.options.secret, self.options
         )

@@ -52,3 +52,12 @@ class LRUTracker:
     def stamps(self) -> dict[Hashable, int]:
         """Snapshot of the recency stamps (for tests/debugging)."""
         return dict(self._stamp)
+
+    def snapshot(self) -> tuple:
+        """Flat ``(clock, ((key, stamp), ...))`` picture of the tracker."""
+        return (self._clock, tuple(self._stamp.items()))
+
+    def restore(self, data: tuple) -> None:
+        """Inverse of :meth:`snapshot` (stamp insertion order preserved)."""
+        self._clock = data[0]
+        self._stamp = dict(data[1])

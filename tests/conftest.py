@@ -1,0 +1,14 @@
+"""Make the repo root importable so tests can reach ``tools.state_diff``.
+
+The simulator package comes from ``PYTHONPATH=src``; ``tools`` lives next
+to ``tests`` at the repo root, which is only on ``sys.path`` when pytest
+is launched from there.  Pinning the root here keeps the suite working
+from any invocation directory.
+"""
+
+import pathlib
+import sys
+
+_ROOT = str(pathlib.Path(__file__).resolve().parents[1])
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)

@@ -13,6 +13,8 @@ from repro.errors import ConfigError
 from repro.prefetch.base import Observation
 from repro.utils.addr import AddressMap
 
+from tools.state_diff import state_diff
+
 AMAP = AddressMap()
 
 
@@ -480,3 +482,82 @@ def test_prefender_reset():
     prefender.reset()
     assert prefender.protected_buffer_count() == 0
     assert len(prefender.record_protector.scale_buffer) == 0
+
+
+# --- reset/snapshot audit ---------------------------------------------------------
+#
+# ``reset()`` and ``restore(fresh.snapshot())`` are two routes to the same
+# place; any state field one of them forgets shows up as a diff path here.
+
+def _drive_tracker(tracker):
+    for i in range(12):
+        tracker.observe_load(
+            obs(0x1000 + i * 0x200, pc=0xA + i % 3, now=i * 10), absent
+        )
+    buffer = tracker.buffer_for_pc(0xA)
+    if buffer is not None:
+        buffer.protect(0x200, 0x1000)
+
+
+def _assert_reset_is_fresh(make, drive):
+    by_reset = make()
+    by_restore = make()
+    drive(by_reset)
+    drive(by_restore)
+    by_reset.reset()
+    by_restore.restore(make().snapshot())
+    name = type(by_reset).__name__
+    assert state_diff(by_reset, by_restore, path=name) == []
+
+
+def test_scale_tracker_reset_matches_fresh_snapshot():
+    def drive(st):
+        st.observe_load(obs(0x10200, scale=0x200, now=5), absent)
+
+    _assert_reset_is_fresh(lambda: ScaleTracker(AMAP), drive)
+
+
+def test_scale_buffer_reset_matches_fresh_snapshot():
+    def drive(buffer):
+        buffer.record(0x200, 0x1000)
+        buffer.record(0x400, 0x8000)
+        buffer.match(0x1400)
+
+    _assert_reset_is_fresh(lambda: ScaleBuffer(capacity=4), drive)
+
+
+def test_access_buffer_reset_matches_fresh_snapshot():
+    def drive(buffer):
+        buffer.reset(0x400000)
+        for i, block in enumerate((0x1000, 0x1F00, 0x1600, 0x2800)):
+            buffer.record(block, now=i)
+        buffer.update_diff_min()
+        buffer.protect(0x200, 0x1000)
+        buffer.guided_prefetches = 3
+
+    _assert_reset_is_fresh(lambda: AccessBuffer(capacity=4), drive)
+
+
+def test_access_tracker_reset_matches_fresh_snapshot():
+    _assert_reset_is_fresh(make_tracker, _drive_tracker)
+
+
+def test_record_protector_reset_matches_fresh_snapshot():
+    def drive(rp):
+        tracker = make_tracker()
+        rp.record_scale(0x200, 0x1000)
+        tracker.observe_load(obs(0x1000, pc=0xA), absent)
+        rp.guidance_for(obs(0x1400, pc=0xA), tracker)
+
+    _assert_reset_is_fresh(RecordProtector, drive)
+
+
+def test_prefender_reset_matches_fresh_snapshot():
+    def drive(prefender):
+        for i in range(16):
+            prefender.observe(
+                obs(0x10000 + i * 0x200, pc=0x1 + i % 4, scale=0x200, now=i * 9),
+                absent,
+            )
+
+    _assert_reset_is_fresh(lambda: Prefender(PrefenderConfig.full(8), AMAP), drive)

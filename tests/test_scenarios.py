@@ -246,3 +246,40 @@ def test_scenario_probe_carries_defense_stats():
     assert "allocation_failures" in stats
     assert "sweep_unprotections" in stats
     assert stats["protections"] >= 1
+
+
+def test_reuse_snapshots_matches_rebuild_across_job_counts():
+    """PR-7 regression: warm-snapshot replay must be byte-identical to the
+    rebuild-per-trial path, sequentially and under process sharding."""
+    grid = dict(
+        victims=("ecdsa-window",),
+        attacks=("evict-reload",),
+        defenses=("Base", "FULL"),
+        secrets=4,
+    )
+    rebuilt = scenarios.run(**grid, jobs=1, reuse_snapshots=False)
+    expected = [
+        probe.to_json() for cell in rebuilt.cells for probe in cell.probes
+    ]
+    for jobs in (1, 4):
+        reused = scenarios.run(**grid, jobs=jobs, reuse_snapshots=True)
+        observed = [
+            probe.to_json() for cell in reused.cells for probe in cell.probes
+        ]
+        assert observed == expected, f"replay diverged from rebuild at jobs={jobs}"
+
+
+def test_reuse_snapshots_caches_individual_trials(tmp_path):
+    """Replayed probes land in the store under their own trial keys."""
+    from repro.runner import ResultStore
+
+    jobs = [
+        ScenarioJob.build("evict-reload", "ecdsa-window", secret)
+        for secret in (1, 5, 9)
+    ]
+    store = ResultStore(tmp_path)
+    first = run_batch(jobs, store=store, reuse_snapshots=True)
+    assert store.misses == len(jobs)
+    again = run_batch(jobs, store=store, reuse_snapshots=True)
+    assert store.hits == len(jobs)
+    assert first == again
