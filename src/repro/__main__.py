@@ -22,7 +22,10 @@ Commands:
 * ``analyze``  — static analysis (CFG + dataflow) over ``.asm`` files
   and/or every built-in workload, crypto victim and attack program
   (``--builtin``); findings carry source line numbers and rule IDs from
-  :data:`repro.analysis.ANALYSIS_RULES`
+  :data:`repro.analysis.ANALYSIS_RULES`.  ``--taint`` adds the
+  secret-taint classification and static per-secret leak maps;
+  ``--json`` emits one machine-readable document.  The exit code is
+  non-zero only for *error*-severity findings and build failures
 
 Simulation batches go through :mod:`repro.runner`: every run is keyed by a
 content hash over the *full* configuration (workload, scale and every
@@ -333,9 +336,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json as json_module
     from pathlib import Path
 
-    from repro.analysis import ANALYSIS_RULES, analyze_program, render_findings
+    from repro.analysis import (
+        ANALYSIS_RULES,
+        analyze_program,
+        leak_map,
+        render_findings,
+    )
     from repro.errors import AnalysisError, AssemblyError
     from repro.isa.assembler import assemble
 
@@ -350,36 +359,107 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         raise ConfigError("analyze needs .asm paths and/or --builtin")
 
     checked = 0
-    failures = 0
+    error_count = 0
+    records: list[dict] = []
 
-    def report(program) -> None:
-        nonlocal checked, failures
+    def finding_payload(program, finding) -> dict:
+        severity, _, fixit = ANALYSIS_RULES[finding.rule]
+        line = None
+        if finding.index is not None and finding.index < len(
+            program.source_lines
+        ):
+            line = program.source_lines[finding.index]
+        return {
+            "rule": finding.rule,
+            "severity": severity,
+            "program": program.name,
+            "index": finding.index,
+            "line": line,
+            "message": finding.message,
+            "fixit": fixit,
+        }
+
+    def report(program, source: str, leak_maps=None) -> None:
+        nonlocal checked, error_count
         checked += 1
         analysis = program.analysis
         if analysis is None:
             analysis = analyze_program(program)
-        if analysis.findings:
-            failures += 1
-            for line in render_findings(program, analysis):
-                print(line)
-        elif args.verbose:
+        error_count += len(analysis.errors())
+        record: dict = {
+            "program": program.name,
+            "source": source,
+            "instructions": len(program),
+            "findings": [
+                finding_payload(program, f) for f in analysis.findings
+            ],
+            "suppressed": len(analysis.suppressed),
+        }
+        if args.taint:
+            taint = analysis.taint
+            record["taint"] = {
+                "sources": list(taint.sources),
+                "secret_addressed": list(taint.secret_addressed()),
+                "secret_valued": list(taint.secret_valued()),
+                "secret_branches": list(taint.branches),
+                "undeclared": list(taint.undeclared),
+                "leaks": taint.leaks,
+            }
+            if leak_maps is not None:
+                record["leak_map"] = {
+                    str(secret): list(indices)
+                    for secret, indices in leak_maps
+                }
+        records.append(record)
+        if args.json:
+            return
+        for line in render_findings(program, analysis):
+            print(line)
+        if args.taint:
+            taint = analysis.taint
+            print(
+                f"{program.name}: taint: {len(taint.sources)} source(s), "
+                f"{len(taint.secret_addressed())} secret-addressed, "
+                f"{len(taint.secret_valued())} secret-valued, "
+                f"{len(taint.branches)} secret branch(es) -> "
+                f"{'leaks' if taint.leaks else 'clean'}"
+            )
+            if leak_maps is not None:
+                footprints = {indices for _, indices in leak_maps}
+                print(
+                    f"{program.name}: leak map: {len(leak_maps)} secret(s), "
+                    f"{len(footprints)} distinct footprint(s)"
+                )
+                if len(leak_maps) <= 16:
+                    for secret, indices in leak_maps:
+                        print(
+                            f"{program.name}:   secret {secret} -> "
+                            f"{list(indices)}"
+                        )
+        elif args.verbose and not analysis.findings:
             print(
                 f"{program.name}: clean ({len(program)} instruction(s), "
                 f"{len(analysis.cfg.blocks)} block(s), "
                 f"{len(analysis.suppressed)} suppressed)"
             )
 
-    def guarded(build, label: str) -> None:
-        nonlocal checked, failures
+    def guarded(build, label: str, leak_maps=None) -> None:
+        nonlocal checked, error_count
         try:
             programs = build()
         except AnalysisError as error:
             checked += 1
-            failures += 1
-            print(f"{label}: {error}")
+            error_count += 1
+            records.append({"program": label, "build_error": str(error)})
+            if not args.json:
+                print(f"{label}: {error}")
             return
         for program in programs:
-            report(program)
+            report(
+                program,
+                label,
+                leak_maps=leak_maps if program.taint_sources else None,
+            )
 
     if args.builtin:
         from repro.runner import ATTACK_KINDS as attack_kinds
@@ -393,13 +473,40 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 lambda k=kind: attack_kinds[k]().build_programs(), kind
             )
         for victim in victim_names():
+            descriptor = get_victim(victim)
+            attack = attack_kinds["flush-reload"](
+                victim=victim,
+                num_indices=descriptor.num_indices,
+                secret=0,
+            )
+            leak_maps = None
+            if args.taint:
+                try:
+                    carriers = [
+                        p
+                        for p in attack.build_programs()
+                        if p.taint_sources
+                    ]
+                except AnalysisError:
+                    carriers = []
+                if carriers:
+                    leak_maps = [
+                        (
+                            secret,
+                            leak_map(
+                                carriers[0],
+                                secret,
+                                probe_base=attack.layout.probe_base,
+                                scale=attack.options.scale,
+                                num_indices=attack.options.num_indices,
+                            ),
+                        )
+                        for secret in range(descriptor.secret_space)
+                    ]
             guarded(
-                lambda v=victim: attack_kinds["flush-reload"](
-                    victim=v,
-                    num_indices=get_victim(v).num_indices,
-                    secret=0,
-                ).build_programs(),
+                lambda a=attack: a.build_programs(),
                 f"victim {victim}",
+                leak_maps=leak_maps,
             )
 
     for path in args.paths:
@@ -408,13 +515,28 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             program = assemble(source, name=Path(path).stem)
         except AssemblyError as error:
             checked += 1
-            failures += 1
-            print(f"{path}: {error}")
+            error_count += 1
+            records.append({"program": str(path), "build_error": str(error)})
+            if not args.json:
+                print(f"{path}: {error}")
             continue
-        report(program)
+        report(program, str(path))
 
-    print(f"analyze: {checked} program(s), {failures} with findings")
-    return 1 if failures else 0
+    if args.json:
+        print(
+            json_module.dumps(
+                {
+                    "schema": "analyze/v1",
+                    "checked": checked,
+                    "errors": error_count,
+                    "programs": records,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"analyze: {checked} program(s), {error_count} error(s)")
+    return 1 if error_count else 0
 
 
 def _cmd_hwcost(args: argparse.Namespace) -> int:
@@ -630,6 +752,15 @@ def main(argv: list[str] | None = None) -> int:
     analyze.add_argument(
         "--list-rules", action="store_true",
         help="print the analysis rule catalog and exit",
+    )
+    analyze.add_argument(
+        "--taint", action="store_true",
+        help="report secret-taint classification and, for builtin crypto "
+        "victims, the static per-secret leak map",
+    )
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON document instead of text",
     )
     analyze.set_defaults(handler=_cmd_analyze)
 

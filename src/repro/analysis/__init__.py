@@ -28,17 +28,31 @@ from repro.analysis.analyzer import (
 )
 from repro.analysis.cfg import EXIT, BasicBlock, ControlFlowGraph, build_cfg
 from repro.analysis.footprint import BlockFootprint, SegmentRange
+from repro.analysis.taint import (
+    KNOWN_SECRET_ADDRS,
+    AccessTaint,
+    TaintAnalysis,
+    leak_map,
+    taint_analysis,
+    taint_of_program,
+)
 
 __all__ = [
     "ANALYSIS_RULES",
+    "AccessTaint",
     "BasicBlock",
     "BlockFootprint",
     "ControlFlowGraph",
     "EXIT",
     "Finding",
+    "KNOWN_SECRET_ADDRS",
     "ProgramAnalysis",
     "SegmentRange",
+    "TaintAnalysis",
     "analyze_program",
     "build_cfg",
+    "leak_map",
     "render_findings",
+    "taint_analysis",
+    "taint_of_program",
 ]

@@ -2,15 +2,30 @@
 
 Rule catalog (IDs are stable — suppressions and docs reference them):
 
-==========  ==============================================================
-AN-BRANCH   branch/jmp target outside the program (or never resolved)
-AN-FALLOFF  control can run past the last instruction (the core raises
-            ``ExecutionError`` when the PC leaves the program)
-AN-HALT     a reachable block from which no ``halt`` is reachable —
-            guaranteed non-termination once control enters it
-AN-DEAD     unreachable basic block (dead code)
-AN-UBD      register read before any write on some path from entry
-==========  ==============================================================
+===================  =====================================================
+AN-BRANCH            branch/jmp target outside the program (or never
+                     resolved)
+AN-FALLOFF           control can run past the last instruction (the core
+                     raises ``ExecutionError`` when the PC leaves the
+                     program)
+AN-HALT              a reachable block from which no ``halt`` is
+                     reachable — guaranteed non-termination once control
+                     enters it
+AN-DEAD              unreachable basic block (dead code)
+AN-UBD               register read before any write on some path from
+                     entry
+AN-SECRET-ADDR       [info] memory access whose address depends on a
+                     declared secret — the leak surface the defense must
+                     cover
+AN-SECRET-BRANCH     branch conditioned on a declared secret (a
+                     control-flow side channel)
+AN-SECRET-UNDECLARED load from the scenario secret cell without a
+                     ``.secret`` declaration
+===================  =====================================================
+
+Severities: ``error`` and ``warning`` findings block a strict build
+(``Program.finalize(strict=True)``); ``info`` findings never do — they
+annotate the program (the cached analysis and the CLI report them).
 
 Suppression: ``program.allow("AN-DEAD")`` (program-wide) or
 ``program.allow("AN-UBD", index=7)`` (one instruction).  Assembly sources
@@ -22,10 +37,12 @@ both forms, so suppressions survive a disassemble/assemble round trip.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.analysis.cfg import EXIT, ControlFlowGraph, build_cfg
 from repro.analysis.dataflow import liveness, use_before_def
 from repro.analysis.footprint import BlockFootprint, block_footprints
+from repro.analysis.taint import TaintAnalysis, taint_analysis
 from repro.isa.decode import K_BRANCH, K_HALT, K_JMP
 from repro.isa.program import Program
 from repro.isa.registers import register_name
@@ -57,6 +74,24 @@ ANALYSIS_RULES: dict[str, tuple[str, str, str]] = {
         "warning",
         "register read before any write on some path",
         "initialise the register (`li`) before the first read",
+    ),
+    "AN-SECRET-ADDR": (
+        "info",
+        "memory access whose address depends on a declared secret",
+        "this is the leak surface: the defense must cover this access "
+        "(or restructure the lookup to be constant-time)",
+    ),
+    "AN-SECRET-BRANCH": (
+        "warning",
+        "branch conditioned on a declared secret (control-flow channel)",
+        "replace the branch with arithmetic selection, or `.allow` it as "
+        "a known channel (square-and-multiply does)",
+    ),
+    "AN-SECRET-UNDECLARED": (
+        "error",
+        "load from the scenario secret cell without a `.secret` declaration",
+        "declare the cell with `.secret ADDR` (builder: `taint_source()`) "
+        "so taint tracking covers the access",
     ),
 }
 
@@ -93,6 +128,8 @@ class ProgramAnalysis:
     liveness: tuple[tuple[frozenset[int], frozenset[int]], ...]
     #: Static memory footprint of every reachable block.
     footprints: tuple[BlockFootprint, ...]
+    #: Secret-taint classification of every access and branch.
+    taint: TaintAnalysis
 
     @property
     def ok(self) -> bool:
@@ -101,11 +138,15 @@ class ProgramAnalysis:
     def errors(self) -> tuple[Finding, ...]:
         return tuple(f for f in self.findings if f.severity == "error")
 
+    def blocking(self) -> tuple[Finding, ...]:
+        """Findings that fail a strict build (everything but ``info``)."""
+        return tuple(f for f in self.findings if f.severity != "info")
 
-def _branch_findings(decoded: tuple[tuple, ...]) -> list[Finding]:
+
+def _branch_findings(decoded: tuple[tuple[Any, ...], ...]) -> list[Finding]:
     """AN-BRANCH: every control transfer must land inside the program."""
     n = len(decoded)
-    findings = []
+    findings: list[Finding] = []
     for index, tup in enumerate(decoded):
         kind = tup[0]
         if kind == K_JMP:
@@ -127,10 +168,10 @@ def _branch_findings(decoded: tuple[tuple, ...]) -> list[Finding]:
 
 
 def _falloff_findings(
-    decoded: tuple[tuple, ...], cfg: ControlFlowGraph
+    decoded: tuple[tuple[Any, ...], ...], cfg: ControlFlowGraph
 ) -> list[Finding]:
     """AN-FALLOFF: a reachable block whose fall-through leaves the program."""
-    findings = []
+    findings: list[Finding] = []
     for index in cfg.reachable:
         block = cfg.blocks[index]
         if EXIT in block.successors:
@@ -145,7 +186,7 @@ def _falloff_findings(
 
 
 def _halt_findings(
-    decoded: tuple[tuple, ...], cfg: ControlFlowGraph
+    decoded: tuple[tuple[Any, ...], ...], cfg: ControlFlowGraph
 ) -> list[Finding]:
     """AN-HALT: reachable blocks from which no ``halt`` can be reached.
 
@@ -196,7 +237,7 @@ def _dead_findings(cfg: ControlFlowGraph) -> list[Finding]:
 
 
 def _ubd_findings(
-    decoded: tuple[tuple, ...], cfg: ControlFlowGraph
+    decoded: tuple[tuple[Any, ...], ...], cfg: ControlFlowGraph
 ) -> list[Finding]:
     return [
         Finding(
@@ -209,6 +250,37 @@ def _ubd_findings(
     ]
 
 
+def _secret_findings(taint: TaintAnalysis) -> list[Finding]:
+    """AN-SECRET-ADDR / AN-SECRET-BRANCH / AN-SECRET-UNDECLARED."""
+    findings = [
+        Finding(
+            index=access.index,
+            rule="AN-SECRET-ADDR",
+            message=f"{access.kind} address derives from a declared secret",
+        )
+        for access in taint.accesses
+        if access.addressed
+    ]
+    findings.extend(
+        Finding(
+            index=index,
+            rule="AN-SECRET-BRANCH",
+            message="branch outcome depends on a declared secret",
+        )
+        for index in taint.branches
+    )
+    findings.extend(
+        Finding(
+            index=index,
+            rule="AN-SECRET-UNDECLARED",
+            message="reads the scenario secret cell but the program "
+            "declares no `.secret` source there",
+        )
+        for index in taint.undeclared
+    )
+    return findings
+
+
 def analyze_program(program: Program) -> ProgramAnalysis:
     """Run every rule over ``program`` (which must be decoded).
 
@@ -217,6 +289,7 @@ def analyze_program(program: Program) -> ProgramAnalysis:
     """
     decoded = tuple(program.decoded)
     cfg = build_cfg(decoded)
+    taint = taint_analysis(decoded, cfg, frozenset(program.taint_sources))
     if not decoded:
         raw = [
             Finding(index=None, rule="AN-HALT", message="program is empty")
@@ -228,10 +301,12 @@ def analyze_program(program: Program) -> ProgramAnalysis:
             + _halt_findings(decoded, cfg)
             + _dead_findings(cfg)
             + _ubd_findings(decoded, cfg)
+            + _secret_findings(taint)
         )
     raw.sort(key=lambda f: (f.index if f.index is not None else -1, f.rule))
     suppressions = program.suppressions
-    kept, silenced = [], []
+    kept: list[Finding] = []
+    silenced: list[Finding] = []
     for finding in raw:
         if (finding.rule, None) in suppressions or (
             finding.rule,
@@ -248,12 +323,13 @@ def analyze_program(program: Program) -> ProgramAnalysis:
         footprints=block_footprints(
             decoded, cfg, tuple(program.data_segments)
         ),
+        taint=taint,
     )
 
 
 def render_findings(program: Program, analysis: ProgramAnalysis) -> list[str]:
     """Human-readable finding lines with source line numbers when known."""
-    lines = []
+    lines: list[str] = []
     for finding in analysis.findings:
         if finding.index is None:
             where = "program"

@@ -16,6 +16,7 @@ finding — the core raises at run time when the PC leaves the program).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.isa.decode import K_BRANCH, K_HALT, K_JMP
 
@@ -66,7 +67,7 @@ class ControlFlowGraph:
 
 
 def _terminator_successors(
-    decoded: tuple[tuple, ...], last: int
+    decoded: tuple[tuple[Any, ...], ...], last: int
 ) -> tuple[int, ...]:
     """Instruction-index successors of the instruction at ``last``."""
     tup = decoded[last]
@@ -79,7 +80,7 @@ def _terminator_successors(
         return (target,) if isinstance(target, int) and 0 <= target < n else ()
     if kind == K_BRANCH:
         target = tup[4]
-        successors = []
+        successors: list[int] = []
         if isinstance(target, int) and 0 <= target < n:
             successors.append(target)
         successors.append(last + 1 if last + 1 < n else EXIT)
@@ -87,7 +88,7 @@ def _terminator_successors(
     return (last + 1 if last + 1 < n else EXIT,)
 
 
-def build_cfg(decoded: tuple[tuple, ...]) -> ControlFlowGraph:
+def build_cfg(decoded: tuple[tuple[Any, ...], ...]) -> ControlFlowGraph:
     """Partition ``decoded`` into basic blocks and wire the edges.
 
     An empty program yields an empty graph.  Invalid (out-of-range)
@@ -117,7 +118,7 @@ def build_cfg(decoded: tuple[tuple, ...]) -> ControlFlowGraph:
         for i in range(start, end):
             block_of[i] = block_index
 
-    blocks = []
+    blocks: list[BasicBlock] = []
     for block_index, (start, end) in enumerate(zip(starts, ends)):
         instr_successors = _terminator_successors(decoded, end - 1)
         successors = tuple(

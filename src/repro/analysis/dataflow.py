@@ -17,6 +17,8 @@ their view of register reads/writes matches the timing core's handlers:
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.analysis.cfg import EXIT, ControlFlowGraph
 from repro.isa.decode import (
     K_ADD_RI,
@@ -62,7 +64,7 @@ _ALU_RI_KINDS = frozenset(
 )
 
 
-def uses_and_def(tup: tuple) -> tuple[tuple[int, ...], int | None]:
+def uses_and_def(tup: tuple[Any, ...]) -> tuple[tuple[int, ...], int | None]:
     """``(read registers, written register or None)`` for one tuple."""
     kind = tup[0]
     if kind == K_LOAD:
@@ -87,7 +89,7 @@ def uses_and_def(tup: tuple) -> tuple[tuple[int, ...], int | None]:
 
 
 def use_before_def(
-    decoded: tuple[tuple, ...], cfg: ControlFlowGraph
+    decoded: tuple[tuple[Any, ...], ...], cfg: ControlFlowGraph
 ) -> tuple[tuple[int, int], ...]:
     """``(instruction index, register)`` pairs read while maybe-undefined.
 
@@ -154,7 +156,7 @@ def use_before_def(
 
 
 def liveness(
-    decoded: tuple[tuple, ...], cfg: ControlFlowGraph
+    decoded: tuple[tuple[Any, ...], ...], cfg: ControlFlowGraph
 ) -> tuple[tuple[frozenset[int], frozenset[int]], ...]:
     """Per-block ``(live_in, live_out)`` register sets, in block order.
 
@@ -178,8 +180,12 @@ def liveness(
         use[block.index] = frozenset(block_use)
         defs[block.index] = frozenset(block_def)
 
-    live_in = {block.index: frozenset() for block in cfg.blocks}
-    live_out = {block.index: frozenset() for block in cfg.blocks}
+    live_in: dict[int, frozenset[int]] = {
+        block.index: frozenset() for block in cfg.blocks
+    }
+    live_out: dict[int, frozenset[int]] = {
+        block.index: frozenset() for block in cfg.blocks
+    }
     changed = True
     while changed:
         changed = False
@@ -207,7 +213,7 @@ def liveness(
 _SHIFT_MASK = 0x3F
 
 
-def _transfer(state: dict[int, int], tup: tuple) -> None:
+def _transfer(state: dict[int, int], tup: tuple[Any, ...]) -> None:
     """Apply one instruction to a constant state, mirroring the core's math."""
     kind = tup[0]
     reads, written = uses_and_def(tup)
@@ -279,7 +285,7 @@ def _meet(a: dict[int, int], b: dict[int, int]) -> dict[int, int]:
 
 
 def constant_addresses(
-    decoded: tuple[tuple, ...], cfg: ControlFlowGraph
+    decoded: tuple[tuple[Any, ...], ...], cfg: ControlFlowGraph
 ) -> dict[int, int]:
     """``instruction index -> resolved byte address`` for memory accesses.
 

@@ -15,6 +15,7 @@ ranges straight from the analysis instead of tracing a run.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.analysis.cfg import ControlFlowGraph
 from repro.analysis.dataflow import constant_addresses
@@ -64,14 +65,14 @@ class BlockFootprint:
 
 
 def block_footprints(
-    decoded: tuple[tuple, ...],
+    decoded: tuple[tuple[Any, ...], ...],
     cfg: ControlFlowGraph,
     segments: tuple[DataSegment, ...],
 ) -> tuple[BlockFootprint, ...]:
     """One :class:`BlockFootprint` per *reachable* block, in block order."""
     resolved = constant_addresses(decoded, cfg)
     ranges = [SegmentRange.of(segment) for segment in segments]
-    footprints = []
+    footprints: list[BlockFootprint] = []
     for index in cfg.reachable:
         block = cfg.blocks[index]
         touched: set[int] = set()

@@ -144,8 +144,11 @@ def emit_victim_direct(
 
     The secret arrives from memory, so its register is ``NA`` under Table
     III and the multiply by ``scale`` gives the access the scale the Scale
-    Tracker needs (paper Fig. 5).
+    Tracker needs (paper Fig. 5).  The secret cell is declared as a taint
+    source (``.secret``), so static analysis proves the final load is
+    secret-addressed (``AN-SECRET-ADDR``).
     """
+    builder.taint_source(layout.secret_addr)
     builder.li("r1", layout.probe_base)
     builder.li("r11", layout.secret_addr)
     builder.load("r10", 0, "r11")

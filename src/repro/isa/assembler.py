@@ -6,6 +6,7 @@ Syntax overview (see ``examples/`` for full programs)::
     .equ STRIDE 0x200               ; named constant
     .data 0x10000 stride=8 1 2 3    ; words 1,2,3 at 0x10000 step 8
     .fill 0x20000 count=8 stride=64 value=0
+    .secret 0x3002100               ; word holds a secret (taint source)
 
     start:
         li   r1, STRIDE
@@ -143,6 +144,17 @@ class _Parser:
             if len(parts) < 2:
                 raise AssemblyError(".allow takes one or more rule IDs", line_no)
             self._allow(parts[1:], line_no, index=None)
+        elif directive == ".secret":
+            if len(parts) < 2:
+                raise AssemblyError(
+                    ".secret takes one or more byte addresses", line_no
+                )
+            for token in parts[1:]:
+                address = self.parse_int(token, line_no)
+                try:
+                    self.program.taint_source(address)
+                except AssemblyError as error:
+                    raise AssemblyError(str(error), line_no) from None
         elif directive == ".data":
             self._data(parts[1:], line_no)
         elif directive == ".fill":

@@ -70,6 +70,11 @@ class ProgramBuilder:
         )
         return self
 
+    def taint_source(self, address: int) -> "ProgramBuilder":
+        """Declare the word at ``address`` a secret (see ``.secret``)."""
+        self._program.taint_source(address)
+        return self
+
     def _emit(self, instruction: Instruction) -> "ProgramBuilder":
         self._program.append(instruction)
         return self

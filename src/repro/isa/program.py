@@ -61,6 +61,12 @@ class Program:
     suppressions: set[tuple[str, int | None]] = field(
         default_factory=set, repr=False, compare=False
     )
+    #: Byte addresses holding secret values (``.secret`` directive /
+    #: :meth:`taint_source`).  The taint analysis seeds from loads that
+    #: resolve to one of these cells.  See :mod:`repro.analysis.taint`.
+    taint_sources: set[int] = field(
+        default_factory=set, repr=False, compare=False
+    )
     #: :class:`repro.analysis.ProgramAnalysis` cached by a strict finalize.
     analysis: "ProgramAnalysis | None" = field(
         default=None, repr=False, compare=False
@@ -89,6 +95,22 @@ class Program:
     def add_data(self, segment: DataSegment) -> None:
         """Register an initial-data segment."""
         self.data_segments.append(segment)
+
+    def taint_source(self, address: int) -> "Program":
+        """Declare the word at ``address`` as a secret-taint source.
+
+        Mirrors the assembly-level ``.secret ADDR`` directive; re-emitted
+        by :meth:`to_text`, so declarations survive round trips.  The
+        static taint analysis (:mod:`repro.analysis.taint`) seeds from
+        loads whose resolved address is a declared cell.
+        """
+        if not isinstance(address, int) or address < 0:
+            raise AssemblyError(
+                f"taint source address must be a non-negative int, "
+                f"got {address!r}"
+            )
+        self.taint_sources.add(address)
+        return self
 
     def allow(self, rule: str, index: int | None = None) -> "Program":
         """Suppress analysis ``rule`` — program-wide, or at one instruction.
@@ -152,16 +174,22 @@ class Program:
         return self
 
     def _check_analysis(self) -> None:
-        """Run the analyzer; raise on any unsuppressed finding."""
+        """Run the analyzer; raise on any unsuppressed blocking finding.
+
+        Info-severity findings (e.g. ``AN-SECRET-ADDR``, which marks the
+        leak surface a defense must cover) never block a build — they are
+        kept on the cached analysis for reporting.
+        """
         from repro.analysis.analyzer import analyze_program, render_findings
 
         analysis = analyze_program(self)
-        if analysis.findings:
+        blocking = analysis.blocking()
+        if blocking:
             lines = render_findings(self, analysis)
             raise AnalysisError(
                 f"static analysis rejected program {self.name!r}:\n"
                 + "\n".join(f"  {line}" for line in lines),
-                findings=analysis.findings,
+                findings=blocking,
             )
         self.analysis = analysis
 
@@ -180,7 +208,8 @@ class Program:
         round-trips through :func:`repro.isa.assembler.assemble` to the
         same decode tuples.  Suppressions come back as ``.allow`` lines
         (program-wide) and ``; analysis: allow`` pragmas (per
-        instruction).
+        instruction); taint-source declarations come back as ``.secret``
+        lines.
         """
         label_at: dict[int, list[str]] = {}
         for label, index in self.labels.items():
@@ -198,6 +227,11 @@ class Program:
         for segment in self.data_segments:
             values = " ".join(str(v) for v in segment.values)
             lines.append(f".data {segment.base:#x} stride={segment.stride} {values}")
+        if self.taint_sources:
+            addresses = " ".join(
+                f"{address:#x}" for address in sorted(self.taint_sources)
+            )
+            lines.append(f".secret {addresses}")
         if global_allow:
             lines.append(f".allow {' '.join(global_allow)}")
         for index, instruction in enumerate(self.instructions):

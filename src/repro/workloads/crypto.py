@@ -42,6 +42,10 @@ rsa-sqmul      square-and-multiply window (4 exponent bits): the square
 ecdsa-window   windowed scalar multiplication: two 2-bit windows of the
                secret each look up the shared 4-line precomputed-point
                table at ``16 + v``
+const-lookup   constant-time control: the secret is loaded but never
+               indexes memory — one access at a fixed index, every
+               secret.  The taint analysis classifies it clean, and the
+               differential oracle pins its mutual information at zero
 =============  ====================================================================
 """
 
@@ -117,7 +121,13 @@ def victim_names() -> list[str]:
 
 
 def _emit_secret_load(builder: ProgramBuilder, layout: AttackLayout) -> None:
-    """r10 <- secret (from memory, so it is ``NA`` under Table III)."""
+    """r10 <- secret (from memory, so it is ``NA`` under Table III).
+
+    Declares the secret cell as a taint source (``.secret``), so the
+    static taint analysis (:mod:`repro.analysis.taint`) seeds here and
+    the ``AN-SECRET-*`` rules see every derived access.
+    """
+    builder.taint_source(layout.secret_addr)
     builder.li("r1", layout.probe_base)
     builder.li("r11", layout.secret_addr)
     builder.load("r10", 0, "r11")
@@ -223,8 +233,11 @@ def _emit_rsa(
         builder.add("r13", "r13", RSA_SQUARE_INDEX)
         _emit_indexed_lookup(builder, options, "r13")
         # Multiply: only when exponent bit `bit` is set — the classic
-        # square-and-multiply leak.
+        # square-and-multiply leak.  The secret-conditioned branch is the
+        # point of this victim, so the AN-SECRET-BRANCH channel is
+        # acknowledged explicitly (scoped to this one instruction).
         skip = builder.fresh_label(f"rsab{bit}")
+        builder.allow("AN-SECRET-BRANCH", index=builder.instruction_count)
         builder.beq("r12", "zero", skip)
         builder.add("r13", "r12", bit * RSA_MUL_STRIDE - 1)  # NA, value 8*bit
         _emit_indexed_lookup(builder, options, "r13")
@@ -286,5 +299,39 @@ register_victim(
         num_indices=32,
         emit=_emit_ecdsa,
         footprint=_ecdsa_footprint,
+    )
+)
+
+
+# -- constant-time control victim ----------------------------------------------
+
+#: The fixed line the control victim touches regardless of the secret.
+CONST_LOOKUP_INDEX = 5
+
+
+def _emit_const_lookup(
+    builder: ProgramBuilder, layout: AttackLayout, options: AttackOptions
+) -> None:
+    """Loads the secret, then accesses a secret-independent fixed line.
+
+    The negative control for the static/dynamic differential: the taint
+    analysis must classify every access clean (the secret register is
+    never an address input), and the dynamic scenario grid must score
+    zero mutual-information bits — the attacker sees the same candidate
+    set for every secret.
+    """
+    _emit_secret_load(builder, layout)
+    builder.li("r12", CONST_LOOKUP_INDEX)
+    _emit_indexed_lookup(builder, options, "r12")
+
+
+register_victim(
+    CryptoVictim(
+        name="const-lookup",
+        description="constant-time control: fixed access, zero leakage",
+        secret_space=8,
+        num_indices=16,
+        emit=_emit_const_lookup,
+        footprint=lambda secret, options: (CONST_LOOKUP_INDEX,),
     )
 )

@@ -76,6 +76,52 @@ def test_det103_clean_with_sorted():
     assert rules_hit(src, SIM) == []
 
 
+# -- DET104: set-annotated parameter iteration --------------------------------
+
+ANALYSIS = "src/repro/analysis/taint.py"  # inside the DET104 scope
+
+
+def test_det104_flags_set_parameter_iteration():
+    src = (
+        "def transfer(tainted: frozenset[int]) -> list[int]:\n"
+        "    return [r for r in tainted]\n"
+    )
+    assert rules_hit(src, ANALYSIS) == ["DET104"]
+
+
+def test_det104_flags_for_loop_and_quoted_annotation():
+    src = (
+        "def walk(cells: 'set[int]') -> None:\n"
+        "    for cell in cells:\n"
+        "        pass\n"
+    )
+    assert rules_hit(src, ANALYSIS) == ["DET104"]
+
+
+def test_det104_clean_with_sorted():
+    src = (
+        "def transfer(tainted: frozenset[int]) -> list[int]:\n"
+        "    return [r for r in sorted(tainted)]\n"
+    )
+    assert rules_hit(src, ANALYSIS) == []
+
+
+def test_det104_ignores_membership_and_other_params():
+    src = (
+        "def transfer(tainted: frozenset[int], regs: list[int]) -> list[int]:\n"
+        "    return [r for r in regs if r in tainted]\n"
+    )
+    assert rules_hit(src, ANALYSIS) == []
+
+
+def test_det104_silent_outside_analysis_scope():
+    src = (
+        "def transfer(tainted: frozenset[int]) -> list[int]:\n"
+        "    return [r for r in tainted]\n"
+    )
+    assert rules_hit(src, SIM) == []
+
+
 # -- SLOT201: hot-path __slots__ ---------------------------------------------
 
 

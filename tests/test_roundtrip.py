@@ -12,6 +12,7 @@ from repro.analysis import analyze_program
 from repro.isa import assemble
 from repro.runner import ATTACK_KINDS
 from repro.workloads import get_workload, workload_names
+from repro.workloads.crypto import get_victim, victim_names
 
 
 def roundtrip(program):
@@ -19,6 +20,7 @@ def roundtrip(program):
     again = assemble(text, name=program.name)
     assert again.decoded == program.decoded, program.name
     assert again.data_segments == program.data_segments, program.name
+    assert again.taint_sources == program.taint_sources, program.name
     assert analyze_program(again) == analyze_program(program), program.name
     # And the re-assembled text is a fixed point.
     assert again.to_text() == text, program.name
@@ -33,6 +35,36 @@ def test_workload_roundtrip(name):
 def test_attack_roundtrip(kind):
     for program in ATTACK_KINDS[kind]().build_programs():
         roundtrip(program)
+
+
+@pytest.mark.parametrize("name", victim_names())
+def test_crypto_victim_roundtrip(name):
+    """Victim-bearing builds carry `.secret` declarations and (for RSA)
+    index-pinned suppressions — both must survive the text round trip."""
+    victim = get_victim(name)
+    attack = ATTACK_KINDS["flush-reload"](
+        victim=name, num_indices=victim.num_indices, secret=0
+    )
+    programs = attack.build_programs()
+    assert any(p.taint_sources for p in programs), name
+    for program in programs:
+        roundtrip(program)
+
+
+def test_secret_directive_roundtrip():
+    source = (
+        ".name secretive\n"
+        ".secret 0x3002100\n"
+        ".data 0x3002100 5\n"
+        "    li r1, 0x3002100\n"
+        "    load r2, 0(r1)\n"
+        "    halt\n"
+    )
+    program = assemble(source, strict=True)
+    text = program.to_text()
+    assert ".secret 0x3002100" in text
+    again = assemble(text, strict=True)
+    assert again.taint_sources == {0x3002100}
 
 
 def test_roundtrip_preserves_suppressions():

@@ -11,6 +11,10 @@ DET102     wall-clock reads in the deterministic core: ``time.*`` /
            ``datetime.now`` leak host timing into simulated results
 DET103     iteration over a set without ``sorted()``: set order varies
            with hash seeding, so derived output is not reproducible
+DET104     analysis transfer function iterating a set-annotated
+           parameter: DET103 only sees locally-assigned sets, but the
+           dataflow/taint passes take ``frozenset`` inputs whose visit
+           order must be pinned too (``src/repro/analysis/`` only)
 SLOT201    hot-path class without ``__slots__`` in ``mem/`` or
            ``isa/decode.py``: per-instance dicts bloat the simulator's
            innermost structures
@@ -238,6 +242,81 @@ class SetIterationRule:
         yield from self._scope_check(list(tree.body))
 
 
+_SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+
+
+def _is_set_annotation(annotation: ast.expr | None) -> bool:
+    """Whether a parameter annotation names a set type."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):  # quoted annotation
+        try:
+            parsed = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return False
+        return _is_set_annotation(parsed)
+    if isinstance(annotation, ast.Subscript):
+        return _is_set_annotation(annotation.value)
+    return _dotted(annotation).rsplit(".", 1)[-1] in _SET_ANNOTATIONS
+
+
+class SetParameterIterationRule(_PrefixScopedRule):
+    """DET104: analysis passes must not iterate set-typed parameters raw.
+
+    Complements DET103, which only tracks names *assigned* set-valued
+    expressions inside a scope: the dataflow and taint transfer functions
+    receive ``frozenset`` arguments from their callers, so a bare
+    ``for r in tainted:`` would still order output by hash seed.
+    Membership tests and ``sorted(param)`` are fine — only direct
+    iteration is flagged.
+    """
+
+    rule_id = "DET104"
+    description = "iteration over a set-annotated parameter without sorted()"
+    fixit = "iterate sorted(param) so the visit order is deterministic"
+    scope = ("src/repro/analysis/",)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            arguments = node.args
+            set_params = {
+                arg.arg
+                for arg in (
+                    arguments.posonlyargs
+                    + arguments.args
+                    + arguments.kwonlyargs
+                )
+                if _is_set_annotation(arg.annotation)
+            }
+            if not set_params:
+                continue
+            for child in ast.walk(node):
+                iters: list[ast.expr] = []
+                if isinstance(child, (ast.For, ast.AsyncFor)):
+                    iters.append(child.iter)
+                elif isinstance(
+                    child,
+                    (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp),
+                ):
+                    iters.extend(gen.iter for gen in child.generators)
+                for candidate in iters:
+                    if (
+                        isinstance(candidate, ast.Name)
+                        and candidate.id in set_params
+                    ):
+                        yield (
+                            candidate.lineno,
+                            f"parameter `{candidate.id}` is set-typed; its "
+                            "iteration order varies across runs",
+                        )
+
+
 def _has_slots(node: ast.ClassDef) -> bool:
     for stmt in node.body:
         if isinstance(stmt, ast.Assign) and any(
@@ -442,6 +521,7 @@ LINT_RULES = (
     UnseededRandomRule(),
     WallClockRule(),
     SetIterationRule(),
+    SetParameterIterationRule(),
     SlotsRequiredRule(),
     ConfigJsonRule(),
     PoolPicklableRule(),
