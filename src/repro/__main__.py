@@ -342,8 +342,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import (
         ANALYSIS_RULES,
         analyze_program,
+        cache_distinguishers,
         leak_map,
         render_findings,
+        trial_intervals,
     )
     from repro.errors import AnalysisError, AssemblyError
     from repro.isa.assembler import assemble
@@ -361,6 +363,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     checked = 0
     error_count = 0
     records: list[dict] = []
+    timing_records: list[dict] = []
+    cache_records: list[dict] = []
+
+    def interval_payload(interval) -> dict:
+        return {"lo": interval.lo, "hi": interval.hi}
 
     def finding_payload(program, finding) -> dict:
         severity, _, fixit = ANALYSIS_RULES[finding.rule]
@@ -379,13 +386,47 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             "fixit": fixit,
         }
 
-    def report(program, source: str, leak_maps=None) -> None:
+    def report(program, source: str, leak_maps=None, secrets=None) -> None:
         nonlocal checked, error_count
         checked += 1
         analysis = program.analysis
         if analysis is None:
             analysis = analyze_program(program)
         error_count += len(analysis.errors())
+        intervals = None
+        distinguisher = None
+        if args.timing:
+            bounds = analysis.timing.bounds
+            timing_entry: dict = {
+                "program": program.name,
+                "source": source,
+                "bounds": interval_payload(bounds),
+            }
+            if secrets and program.taint_sources:
+                intervals = trial_intervals(program, secrets)
+                timing_entry["intervals"] = {
+                    str(secret): interval_payload(interval)
+                    for secret, interval in intervals.items()
+                }
+                distinguisher = cache_distinguishers(
+                    program, secrets=secrets
+                )
+                cache_records.append(
+                    {
+                        "program": program.name,
+                        "source": source,
+                        "secrets": list(distinguisher.secrets),
+                        "distinguishable": distinguisher.distinguishable,
+                        "witness": (
+                            list(distinguisher.witness)
+                            if distinguisher.witness is not None
+                            else None
+                        ),
+                        "index": distinguisher.index,
+                        "detail": distinguisher.detail,
+                    }
+                )
+            timing_records.append(timing_entry)
         record: dict = {
             "program": program.name,
             "source": source,
@@ -442,8 +483,50 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 f"{len(analysis.cfg.blocks)} block(s), "
                 f"{len(analysis.suppressed)} suppressed)"
             )
+        if args.timing:
+            bounds = analysis.timing.bounds
+            hi = "unbounded" if bounds.hi is None else bounds.hi
+            print(f"{program.name}: timing: path bounds [{bounds.lo}, {hi}]")
+            if intervals is not None:
+                for secret, interval in intervals.items():
+                    hi = (
+                        "unresolved"
+                        if interval.hi is None
+                        else interval.hi
+                    )
+                    print(
+                        f"{program.name}:   secret {secret} -> "
+                        f"[{interval.lo}, {hi}]"
+                    )
+                distinct = {
+                    (interval.lo, interval.hi)
+                    for interval in intervals.values()
+                }
+                constant = len(distinct) == 1 and all(
+                    interval.exact for interval in intervals.values()
+                )
+                print(
+                    f"{program.name}: timing: "
+                    + (
+                        "constant-time across "
+                        f"{len(intervals)} trial secret(s)"
+                        if constant
+                        else f"{len(distinct)} distinct cycle interval(s) "
+                        f"over {len(intervals)} trial secret(s)"
+                    )
+                )
+            if distinguisher is not None:
+                print(
+                    f"{program.name}: cache: "
+                    + (
+                        "DISTINGUISHABLE"
+                        if distinguisher.distinguishable
+                        else "indistinguishable"
+                    )
+                    + f" -- {distinguisher.detail}"
+                )
 
-    def guarded(build, label: str, leak_maps=None) -> None:
+    def guarded(build, label: str, leak_maps=None, secrets=None) -> None:
         nonlocal checked, error_count
         try:
             programs = build()
@@ -459,6 +542,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 program,
                 label,
                 leak_maps=leak_maps if program.taint_sources else None,
+                secrets=secrets,
             )
 
     if args.builtin:
@@ -507,6 +591,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 lambda a=attack: a.build_programs(),
                 f"victim {victim}",
                 leak_maps=leak_maps,
+                secrets=(
+                    descriptor.trial_secrets(
+                        min(8, descriptor.secret_space)
+                    )
+                    if args.timing
+                    else None
+                ),
             )
 
     for path in args.paths:
@@ -520,16 +611,34 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             if not args.json:
                 print(f"{path}: {error}")
             continue
-        report(program, str(path))
+        report(
+            program,
+            str(path),
+            secrets=(
+                (0, 1, 2, 3)
+                if args.timing and program.taint_sources
+                else None
+            ),
+        )
 
     if args.json:
+        timing_section: dict = {"enabled": False}
+        cache_section: dict = {"enabled": False}
+        if args.timing:
+            timing_section = {"enabled": True, "programs": timing_records}
+            cache_section = {
+                "enabled": True,
+                "distinguishers": cache_records,
+            }
         print(
             json_module.dumps(
                 {
-                    "schema": "analyze/v1",
+                    "schema": "analyze/v2",
                     "checked": checked,
                     "errors": error_count,
                     "programs": records,
+                    "timing": timing_section,
+                    "cache": cache_section,
                 },
                 indent=2,
             )
@@ -757,6 +866,12 @@ def main(argv: list[str] | None = None) -> int:
         "--taint", action="store_true",
         help="report secret-taint classification and, for builtin crypto "
         "victims, the static per-secret leak map",
+    )
+    analyze.add_argument(
+        "--timing", action="store_true",
+        help="report abstract cycle bounds and, for secret-bearing "
+        "programs, the per-secret timing map and cache-distinguisher "
+        "verdict",
     )
     analyze.add_argument(
         "--json", action="store_true",

@@ -26,6 +26,12 @@ from repro.analysis.analyzer import (
     analyze_program,
     render_findings,
 )
+from repro.analysis.cachemodel import (
+    CacheGeometry,
+    CacheState,
+    HierarchyState,
+    LatencyInterval,
+)
 from repro.analysis.cfg import EXIT, BasicBlock, ControlFlowGraph, build_cfg
 from repro.analysis.footprint import BlockFootprint, SegmentRange
 from repro.analysis.taint import (
@@ -36,23 +42,45 @@ from repro.analysis.taint import (
     taint_analysis,
     taint_of_program,
 )
+from repro.analysis.timing import (
+    CycleInterval,
+    DistinguisherReport,
+    TimingAnalysis,
+    analyze_timing,
+    cache_distinguishers,
+    cycle_bounds,
+    timing_map,
+    trial_intervals,
+)
 
 __all__ = [
     "ANALYSIS_RULES",
     "AccessTaint",
     "BasicBlock",
     "BlockFootprint",
+    "CacheGeometry",
+    "CacheState",
     "ControlFlowGraph",
+    "CycleInterval",
+    "DistinguisherReport",
     "EXIT",
     "Finding",
+    "HierarchyState",
     "KNOWN_SECRET_ADDRS",
+    "LatencyInterval",
     "ProgramAnalysis",
     "SegmentRange",
     "TaintAnalysis",
+    "TimingAnalysis",
     "analyze_program",
+    "analyze_timing",
     "build_cfg",
+    "cache_distinguishers",
+    "cycle_bounds",
     "leak_map",
     "render_findings",
     "taint_analysis",
     "taint_of_program",
+    "timing_map",
+    "trial_intervals",
 ]

@@ -21,6 +21,14 @@ AN-SECRET-BRANCH     branch conditioned on a declared secret (a
                      control-flow side channel)
 AN-SECRET-UNDECLARED load from the scenario secret cell without a
                      ``.secret`` declaration
+AN-TIMING-VAR        [info] secret-conditioned branch or secret-addressed
+                     access whose abstract hit/miss state (and so its
+                     cycle cost) varies across secrets
+AN-CACHE-DISTINGUISH [info] two secrets yield different attacker-observable
+                     must/may residency in a shared cache level (computed
+                     by :func:`repro.analysis.timing.cache_distinguishers`,
+                     not by :func:`analyze_program` — it needs one concrete
+                     walk per secret)
 ===================  =====================================================
 
 Severities: ``error`` and ``warning`` findings block a strict build
@@ -43,6 +51,11 @@ from repro.analysis.cfg import EXIT, ControlFlowGraph, build_cfg
 from repro.analysis.dataflow import liveness, use_before_def
 from repro.analysis.footprint import BlockFootprint, block_footprints
 from repro.analysis.taint import TaintAnalysis, taint_analysis
+from repro.analysis.timing import (
+    TimingAnalysis,
+    analyze_timing,
+    timing_variations,
+)
 from repro.isa.decode import K_BRANCH, K_HALT, K_JMP
 from repro.isa.program import Program
 from repro.isa.registers import register_name
@@ -93,6 +106,18 @@ ANALYSIS_RULES: dict[str, tuple[str, str, str]] = {
         "declare the cell with `.secret ADDR` (builder: `taint_source()`) "
         "so taint tracking covers the access",
     ),
+    "AN-TIMING-VAR": (
+        "info",
+        "secret-dependent timing: branch or access cost varies with a secret",
+        "balance the branch paths / pin the access to one cacheline, or "
+        "rely on the defense to mask the latency difference",
+    ),
+    "AN-CACHE-DISTINGUISH": (
+        "info",
+        "two secrets leave different attacker-observable cache residency",
+        "make the lookup footprint secret-independent (preload the whole "
+        "table, or use a constant-time selection network)",
+    ),
 }
 
 
@@ -130,6 +155,8 @@ class ProgramAnalysis:
     footprints: tuple[BlockFootprint, ...]
     #: Secret-taint classification of every access and branch.
     taint: TaintAnalysis
+    #: Abstract cache/cycle interval analysis (default system geometry).
+    timing: TimingAnalysis
 
     @property
     def ok(self) -> bool:
@@ -290,6 +317,7 @@ def analyze_program(program: Program) -> ProgramAnalysis:
     decoded = tuple(program.decoded)
     cfg = build_cfg(decoded)
     taint = taint_analysis(decoded, cfg, frozenset(program.taint_sources))
+    timing = analyze_timing(decoded, cfg)
     if not decoded:
         raw = [
             Finding(index=None, rule="AN-HALT", message="program is empty")
@@ -302,6 +330,10 @@ def analyze_program(program: Program) -> ProgramAnalysis:
             + _dead_findings(cfg)
             + _ubd_findings(decoded, cfg)
             + _secret_findings(taint)
+            + [
+                Finding(index=index, rule="AN-TIMING-VAR", message=message)
+                for index, message in timing_variations(cfg, taint, timing)
+            ]
         )
     raw.sort(key=lambda f: (f.index if f.index is not None else -1, f.rule))
     suppressions = program.suppressions
@@ -324,6 +356,7 @@ def analyze_program(program: Program) -> ProgramAnalysis:
             decoded, cfg, tuple(program.data_segments)
         ),
         taint=taint,
+        timing=timing,
     )
 
 

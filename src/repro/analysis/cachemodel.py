@@ -1,0 +1,524 @@
+"""Abstract cache-state domain: per-set must/may residency with LRU ages.
+
+CacheAudit-style abstract interpretation of the simulator's set-associative
+LRU caches (:mod:`repro.mem.cache`), parameterised by the *real*
+:class:`~repro.mem.hierarchy.HierarchyConfig` geometry so the static
+verdicts are about the machine the scenarios actually run.
+
+One :class:`CacheState` abstracts one cache level as, per set:
+
+* **must** — ``block -> upper bound on its LRU age``.  A block present in
+  ``must`` is *definitely cached* (its age bound is ``< assoc``, so it
+  cannot have been evicted on any path): a demand access is a certain hit.
+* **may** — ``block -> lower bound on its LRU age``.  A block absent from
+  ``may`` (with :attr:`CacheState.may_universal` off) is *definitely not
+  cached* on any path: a certain miss.  ``may_universal`` is the havoc
+  top element — after an access whose address the analysis cannot
+  resolve, any block may be resident.
+
+The aging rules are the classic LRU must/may updates (Ferdinand-style),
+with one refinement: the may analysis uses the must component's upper
+bounds to decide when another block's lower bound *provably* increments
+(``upper(c) < lower(b)`` means ``c`` is strictly more recent than the
+accessed block ``b`` on every path).  On a fully concrete access sequence
+from a cold cache the two components stay in lockstep (``lower == upper``
+for every block) and the domain degenerates to an exact LRU simulation —
+which is what lets :func:`repro.analysis.timing.timing_map` predict a
+*point* cycle interval and the differential oracle compare it against the
+simulator, cycle for cycle.
+
+Two invariants hold for every reachable state and are preserved by every
+transfer and by ``join`` (``tests/test_cachemodel.py`` exercises them):
+
+* ``must ⊆ may`` (a certainly-present block is possibly present), and
+* ``may[b] <= must[b]`` for shared blocks (bounds bracket the true age).
+
+:class:`HierarchyState` stacks two levels as the simulator does — per-core
+L1D over a shared inclusive L2 — composes hit/miss classifications into
+the three latency classes of :mod:`repro.mem.cache` (L1 hit, L2 hit,
+memory), and enforces inclusion: a block can only stay in L1-must while it
+is in L2-must, because an L2 eviction back-invalidates L1 copies.
+
+Scope: single-core demand traffic (loads, write-allocating stores,
+software prefetches, clflush).  Cross-core invalidation and hardware
+prefetcher fills are not modelled — the timing verifier targets the
+undefended ``Base`` configuration, which attaches no prefetcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.hierarchy import HierarchyConfig
+
+#: Classification labels (stable — CLI JSON output uses them).
+HIT = "hit"
+MISS = "miss"
+UNKNOWN = "unknown"
+
+#: Default cacheline geometry (``repro.utils.addr.AddressMap.block_size``).
+DEFAULT_BLOCK_SIZE = 64
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Sets/ways/block-bits of one cache level (all powers of two)."""
+
+    num_sets: int
+    assoc: int
+    block_bits: int
+
+    def __post_init__(self) -> None:
+        if self.num_sets <= 0 or self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"num_sets must be a power of two: {self.num_sets}")
+        if self.assoc < 1:
+            raise ValueError(f"assoc must be >= 1: {self.assoc}")
+        if self.block_bits < 0:
+            raise ValueError(f"block_bits must be >= 0: {self.block_bits}")
+
+    def block_of(self, addr: int) -> int:
+        """Block number (block address shifted right) of a byte address."""
+        return addr >> self.block_bits
+
+    def set_of(self, block: int) -> int:
+        """Set index of a block number."""
+        return block & (self.num_sets - 1)
+
+
+def _level_geometry(size: int, assoc: int, block_size: int) -> CacheGeometry:
+    return CacheGeometry(
+        num_sets=size // (assoc * block_size),
+        assoc=assoc,
+        block_bits=block_size.bit_length() - 1,
+    )
+
+
+class CacheState:
+    """Abstract residency state of one cache level (mutable, copyable)."""
+
+    __slots__ = ("geometry", "_must", "_may", "may_universal")
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        # set index -> {block -> upper age bound}; entries always < assoc.
+        self._must: dict[int, dict[int, int]] = {}
+        # set index -> {block -> lower age bound}; entries always < assoc.
+        self._may: dict[int, dict[int, int]] = {}
+        # Top element of the may component: any block may be resident.
+        self.may_universal = False
+
+    # -- queries -------------------------------------------------------------
+
+    def classify(self, block: int) -> str:
+        """``HIT`` / ``MISS`` / ``UNKNOWN`` for a demand access to ``block``."""
+        s = self.geometry.set_of(block)
+        must = self._must.get(s)
+        if must is not None and block in must:
+            return HIT
+        if self.may_universal:
+            return UNKNOWN
+        may = self._may.get(s)
+        if may is None or block not in may:
+            return MISS
+        return UNKNOWN
+
+    def any_hit_possible(self) -> bool:
+        """Whether *some* address could hit (an unresolved access's best case)."""
+        return self.may_universal or any(self._may.values())
+
+    def must_blocks(self) -> frozenset[int]:
+        """Blocks certainly resident (attacker-observable lower bound)."""
+        return frozenset(
+            block for per_set in self._must.values() for block in per_set
+        )
+
+    def may_blocks(self) -> frozenset[int] | None:
+        """Blocks possibly resident, or ``None`` for the universal top."""
+        if self.may_universal:
+            return None
+        return frozenset(
+            block for per_set in self._may.values() for block in per_set
+        )
+
+    # -- transfer functions ----------------------------------------------------
+
+    def access(self, block: int) -> None:
+        """Demand access (load or write-allocating store) to ``block``.
+
+        Must aging: blocks provably more recent than ``b`` (upper bound
+        below ``b``'s upper bound) may fall behind ``b``, so their upper
+        bounds increment; an entry reaching ``assoc`` is no longer provably
+        resident and is dropped.  May aging: a block's lower bound
+        increments only when the increment is *guaranteed* — when ``b`` is
+        a certain miss (a fresh insertion ages every resident line) or when
+        the block is provably more recent than ``b``.
+        """
+        geometry = self.geometry
+        assoc = geometry.assoc
+        s = geometry.set_of(block)
+        must = self._must.get(s)
+        if must is None:
+            must = self._must[s] = {}
+        upper_b = must.get(block, assoc)
+        pre_upper = dict(must)  # pre-access bounds: the aging test needs them
+        for c, age in list(must.items()):
+            if c != block and age < upper_b:
+                if age + 1 >= assoc:
+                    del must[c]
+                else:
+                    must[c] = age + 1
+        must[block] = 0
+        if self.may_universal:
+            return
+        may = self._may.get(s)
+        if may is None:
+            may = self._may[s] = {}
+        lower_b = may.get(block)
+        for c, age in list(may.items()):
+            if c == block:
+                continue
+            upper_c = pre_upper.get(c)
+            certainly_ahead = lower_b is not None and (
+                upper_c is not None and upper_c < lower_b
+            )
+            if lower_b is None or certainly_ahead:
+                if age + 1 >= assoc:
+                    del may[c]
+                    must.pop(c, None)  # lower > upper is vacuous: gone
+                else:
+                    may[c] = age + 1
+        may[block] = 0
+
+    def flush(self, block: int) -> None:
+        """Invalidate ``block`` (clflush / back-invalidation): certain miss.
+
+        Remaining lines keep their age bounds: removing a line never makes
+        another line *older* (upper bounds stay sound) and never makes it
+        *younger* than its lower bound claims.
+        """
+        s = self.geometry.set_of(block)
+        must = self._must.get(s)
+        if must is not None:
+            must.pop(block, None)
+            if not must:
+                del self._must[s]
+        may = self._may.get(s)
+        if may is not None:
+            may.pop(block, None)
+            if not may:
+                del self._may[s]
+
+    def havoc_access(self) -> None:
+        """An access whose address is unknown: it may touch any set.
+
+        Every must bound ages by one (the access could land in front of any
+        line) and the may component goes universal (the touched block —
+        whichever it is — becomes resident).
+        """
+        assoc = self.geometry.assoc
+        for s, must in list(self._must.items()):
+            for c, age in list(must.items()):
+                if age + 1 >= assoc:
+                    del must[c]
+                else:
+                    must[c] = age + 1
+            if not must:
+                del self._must[s]
+        self._may = {}
+        self.may_universal = True
+
+    def havoc_flush(self) -> None:
+        """A clflush whose address is unknown: any one line may vanish.
+
+        No line is provably resident afterwards (must empties); the may
+        component is untouched — a flush never *adds* residency.
+        """
+        self._must = {}
+
+    # -- lattice operations ----------------------------------------------------
+
+    def copy(self) -> "CacheState":
+        dup = CacheState(self.geometry)
+        dup._must = {s: dict(d) for s, d in self._must.items()}
+        dup._may = {s: dict(d) for s, d in self._may.items()}
+        dup.may_universal = self.may_universal
+        return dup
+
+    def join(self, other: "CacheState") -> "CacheState":
+        """Least upper bound: control-flow merge of two predecessor states."""
+        if self.geometry != other.geometry:
+            raise ValueError("cannot join states of different geometries")
+        joined = CacheState(self.geometry)
+        for s, must in self._must.items():
+            other_must = other._must.get(s)
+            if other_must is None:
+                continue
+            merged = {
+                block: max(age, other_must[block])
+                for block, age in must.items()
+                if block in other_must
+            }
+            if merged:
+                joined._must[s] = merged
+        if self.may_universal or other.may_universal:
+            joined.may_universal = True
+            return joined
+        for s in self._may.keys() | other._may.keys():
+            a = self._may.get(s, {})
+            b = other._may.get(s, {})
+            merged = dict(b)
+            for block, age in a.items():
+                existing = merged.get(block)
+                merged[block] = age if existing is None else min(age, existing)
+            if merged:
+                joined._may[s] = merged
+        return joined
+
+    def leq(self, other: "CacheState") -> bool:
+        """Partial order: ``self`` is at least as precise as ``other``."""
+        if self.geometry != other.geometry:
+            return False
+        for s, other_must in other._must.items():
+            must = self._must.get(s, {})
+            for block, age in other_must.items():
+                mine = must.get(block)
+                if mine is None or mine > age:
+                    return False
+        if other.may_universal:
+            return True
+        if self.may_universal:
+            return False
+        for s, may in self._may.items():
+            other_may = other._may.get(s, {})
+            for block, age in may.items():
+                theirs = other_may.get(block)
+                if theirs is None or theirs > age:
+                    return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheState):
+            return NotImplemented
+        return (
+            self.geometry == other.geometry
+            and self.may_universal == other.may_universal
+            and self._must == other._must
+            and (self.may_universal or self._may == other._may)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, not hashed
+        raise TypeError("CacheState is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        may = "universal" if self.may_universal else dict(self._may)
+        return f"CacheState(must={self._must!r}, may={may!r})"
+
+
+@dataclass(frozen=True)
+class LatencyInterval:
+    """Closed interval of cycles an access may cost."""
+
+    lo: int
+    hi: int
+
+    @property
+    def exact(self) -> bool:
+        return self.lo == self.hi
+
+
+class HierarchyState:
+    """Two-level abstract hierarchy: private L1D over shared inclusive L2.
+
+    Mirrors :class:`repro.mem.hierarchy.MemoryHierarchy`'s demand timing
+    for a single core: L1 hit pays ``l1_hit_latency``; an L1 miss adds the
+    L2 outcome (``l2_hit_latency`` or ``memory_latency``); stores are
+    write-allocating and (with ``nonblocking_stores``) cost one cycle;
+    ``clflush`` always costs ``flush_latency``; a software prefetch costs
+    like a load but may be dropped at L1-miss time (MSHR pressure), which
+    only widens its interval.
+    """
+
+    __slots__ = ("config", "l1", "l2", "block_bits")
+
+    def __init__(
+        self,
+        config: HierarchyConfig | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        self.config = config or HierarchyConfig()
+        self.l1 = CacheState(
+            _level_geometry(
+                self.config.l1d_size, self.config.l1d_assoc, block_size
+            )
+        )
+        self.l2 = CacheState(
+            _level_geometry(
+                self.config.l2_size, self.config.l2_assoc, block_size
+            )
+        )
+        self.block_bits = block_size.bit_length() - 1
+
+    # -- latency classes -------------------------------------------------------
+
+    @property
+    def l1_latency(self) -> int:
+        return self.config.l1_hit_latency
+
+    @property
+    def l2_latency(self) -> int:
+        return self.config.l1_hit_latency + self.config.l2_hit_latency
+
+    @property
+    def memory_latency(self) -> int:
+        return (
+            self.config.l1_hit_latency
+            + self.config.l2_hit_latency
+            + self.config.memory_latency
+        )
+
+    def block_of(self, addr: int) -> int:
+        return addr >> self.block_bits
+
+    # -- internal helpers ------------------------------------------------------
+
+    def _enforce_inclusion(self) -> None:
+        """L2 evictions back-invalidate L1: keep the abstraction inclusive.
+
+        A block stays certainly-in-L1 only while certainly-in-L2 (otherwise
+        a possible L2 eviction may have knocked it out); a block certainly
+        evicted from L2 is certainly gone from L1 too.
+        """
+        for block in sorted(self.l1.must_blocks()):
+            if self.l2.classify(block) != HIT:
+                s = self.l1.geometry.set_of(block)
+                must = self.l1._must.get(s)
+                if must is not None:
+                    must.pop(block, None)
+                    if not must:
+                        del self.l1._must[s]
+        if not self.l1.may_universal:
+            for block in sorted(self.l1.may_blocks() or frozenset()):
+                if self.l2.classify(block) == MISS:
+                    self.l1.flush(block)
+
+    def _fill_interval(self, block: int) -> LatencyInterval:
+        """Latency of a demand access classified against both levels.
+
+        Mutates both levels exactly as the simulator's demand path does:
+        the L1 is always accessed; the L2 is accessed only when the L1
+        misses (joined when the L1 outcome is unknown).
+        """
+        l1_class = self.l1.classify(block)
+        if l1_class == HIT:
+            self.l1.access(block)
+            return LatencyInterval(self.l1_latency, self.l1_latency)
+        l2_class = self.l2.classify(block)
+        if l1_class == MISS:
+            self.l2.access(block)
+            self.l1.access(block)
+            self._enforce_inclusion()
+            if l2_class == HIT:
+                return LatencyInterval(self.l2_latency, self.l2_latency)
+            if l2_class == MISS:
+                return LatencyInterval(self.memory_latency, self.memory_latency)
+            return LatencyInterval(self.l2_latency, self.memory_latency)
+        # Unknown at L1: the L2 may or may not see the access.
+        touched = self.l2.copy()
+        touched.access(block)
+        self.l2 = self.l2.join(touched)
+        self.l1.access(block)
+        self._enforce_inclusion()
+        hi = self.l2_latency if l2_class == HIT else self.memory_latency
+        return LatencyInterval(self.l1_latency, hi)
+
+    def _havoc_interval(self) -> LatencyInterval:
+        """Latency bounds for an access whose address never resolved."""
+        if self.l1.any_hit_possible():
+            lo = self.l1_latency
+        elif self.l2.any_hit_possible():
+            lo = self.l2_latency
+        else:
+            lo = self.memory_latency
+        self.l1.havoc_access()
+        self.l2.havoc_access()
+        self._enforce_inclusion()
+        return LatencyInterval(lo, self.memory_latency)
+
+    # -- demand interface ------------------------------------------------------
+
+    def load(self, addr: int | None) -> LatencyInterval:
+        """Demand load of ``addr`` (``None`` = statically unresolved)."""
+        if addr is None:
+            return self._havoc_interval()
+        return self._fill_interval(self.block_of(addr))
+
+    def store(self, addr: int | None) -> LatencyInterval:
+        """Demand store: write-allocates like a load; cheap when nonblocking."""
+        if addr is None:
+            fill = self._havoc_interval()
+        else:
+            fill = self._fill_interval(self.block_of(addr))
+        if self.config.nonblocking_stores:
+            return LatencyInterval(1, 1)
+        return fill
+
+    def prefetch(self, addr: int | None) -> LatencyInterval:
+        """Software prefetch: load-shaped latency, droppable on an L1 miss."""
+        if addr is None:
+            interval = self._havoc_interval()
+            return LatencyInterval(self.l1_latency, interval.hi)
+        block = self.block_of(addr)
+        if self.l1.classify(block) == HIT:
+            self.l1.access(block)
+            return LatencyInterval(self.l1_latency, self.l1_latency)
+        untouched_l1 = self.l1.copy()
+        untouched_l2 = self.l2.copy()
+        filled = self._fill_interval(block)
+        self.l1 = self.l1.join(untouched_l1)
+        self.l2 = self.l2.join(untouched_l2)
+        return LatencyInterval(self.l1_latency, filled.hi)
+
+    def flush(self, addr: int | None) -> LatencyInterval:
+        """clflush: evict the line everywhere; constant latency."""
+        if addr is None:
+            self.l1.havoc_flush()
+            self.l2.havoc_flush()
+        else:
+            block = self.block_of(addr)
+            self.l1.flush(block)
+            self.l2.flush(block)
+        latency = self.config.flush_latency
+        return LatencyInterval(latency, latency)
+
+    # -- lattice operations ----------------------------------------------------
+
+    def copy(self) -> "HierarchyState":
+        dup = HierarchyState.__new__(HierarchyState)
+        dup.config = self.config
+        dup.l1 = self.l1.copy()
+        dup.l2 = self.l2.copy()
+        dup.block_bits = self.block_bits
+        return dup
+
+    def join(self, other: "HierarchyState") -> "HierarchyState":
+        joined = HierarchyState.__new__(HierarchyState)
+        joined.config = self.config
+        joined.l1 = self.l1.join(other.l1)
+        joined.l2 = self.l2.join(other.l2)
+        joined.block_bits = self.block_bits
+        return joined
+
+    def leq(self, other: "HierarchyState") -> bool:
+        return self.l1.leq(other.l1) and self.l2.leq(other.l2)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HierarchyState):
+            return NotImplemented
+        return (
+            self.config == other.config
+            and self.l1 == other.l1
+            and self.l2 == other.l2
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, not hashed
+        raise TypeError("HierarchyState is mutable and unhashable")

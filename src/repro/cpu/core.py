@@ -27,6 +27,7 @@ persists.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.calc import CalculationBuffer
 from repro.errors import ExecutionError
@@ -184,9 +185,10 @@ class Core:
         self._spec_window = config.spec_window
         self._dispatch = self._build_dispatch()
 
-    def _build_dispatch(self):
-        """Handler table indexed by the decode-kind integers."""
-        table: list = [None] * NUM_KINDS
+    def _build_dispatch(self) -> list[Any]:
+        """Handler table indexed by the decode-kind integers (``Any`` holes
+        for kinds without a handler: decode emits every kind listed here)."""
+        table: list[Any] = [None] * NUM_KINDS
         table[K_LOAD] = self._op_load
         table[K_STORE] = self._op_store
         table[K_LI] = self._op_li
@@ -218,7 +220,7 @@ class Core:
 
     # -- snapshot/restore ---------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """All mutable core state as flat tuples.
 
         The program, decode cache and dispatch table are immutable per core
@@ -248,7 +250,7 @@ class Core:
             "serialized": self._serialized,
         }
 
-    def restore(self, data: dict) -> None:
+    def restore(self, data: dict[str, Any]) -> None:
         """Inverse of :meth:`snapshot`.
 
         Registers and tracks are written in place so the ``_values`` /
@@ -365,7 +367,7 @@ class Core:
 
     # -- memory instructions -----------------------------------------------------------
 
-    def _op_load(self, d) -> None:
+    def _op_load(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, imm, pc = d
         values = self._values
         addr = (values[rs0] + imm) & WORD_MASK
@@ -407,7 +409,7 @@ class Core:
         else:
             stats.instructions_retired += 1
 
-    def _op_store(self, d) -> None:
+    def _op_store(self, d: tuple[Any, ...]) -> None:
         _, rs0, rs1, imm, pc = d
         values = self._values
         addr = (values[rs1] + imm) & WORD_MASK
@@ -423,7 +425,7 @@ class Core:
         self.pc_index += 1
         self.stats.instructions_retired += 1
 
-    def _op_clflush(self, d) -> None:
+    def _op_clflush(self, d: tuple[Any, ...]) -> None:
         if self._speculating:
             # Flushes are ordered like stores: they do not execute transiently.
             self._retire()
@@ -436,7 +438,7 @@ class Core:
         self.pc_index += 1
         self.stats.instructions_retired += 1
 
-    def _op_prefetch(self, d) -> None:
+    def _op_prefetch(self, d: tuple[Any, ...]) -> None:
         if self._speculating:
             # Ordered like stores/flushes: not executed transiently.
             self._retire()
@@ -455,7 +457,7 @@ class Core:
 
     # -- register moves ----------------------------------------------------------------
 
-    def _op_li(self, d) -> None:
+    def _op_li(self, d: tuple[Any, ...]) -> None:
         _, rd, imm = d
         if rd:
             self._values[rd] = imm
@@ -464,7 +466,7 @@ class Core:
         track.sc = 1
         self._retire()
 
-    def _op_mov(self, d) -> None:
+    def _op_mov(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0 = d
         if rd:
             self._values[rd] = self._values[rs0]
@@ -478,7 +480,7 @@ class Core:
             dst.sc = 1
         self._retire()
 
-    def _op_rdcycle(self, d) -> None:
+    def _op_rdcycle(self, d: tuple[Any, ...]) -> None:
         rd = d[1]
         if rd:
             self._values[rd] = self.time & WORD_MASK
@@ -490,7 +492,7 @@ class Core:
 
     # -- ALU: add/sub (Table III "+/-" rules) -------------------------------------------
 
-    def _op_add_rr(self, d) -> None:
+    def _op_add_rr(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, rs1 = d
         values = self._values
         if rd:
@@ -513,7 +515,7 @@ class Core:
             dst.sc = ssc if ssc < osc else osc
         self._retire()
 
-    def _op_sub_rr(self, d) -> None:
+    def _op_sub_rr(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, rs1 = d
         values = self._values
         if rd:
@@ -536,7 +538,7 @@ class Core:
             dst.sc = ssc if ssc < osc else osc
         self._retire()
 
-    def _op_add_ri(self, d) -> None:
+    def _op_add_ri(self, d: tuple[Any, ...]) -> None:
         # Covers ``sub rd, rs, imm`` too: decode negates the immediate.
         _, rd, rs0, imm = d
         values = self._values
@@ -556,7 +558,7 @@ class Core:
 
     # -- ALU: mul/shift (Table III "x" rules) -------------------------------------------
 
-    def _op_mul_rr(self, d) -> None:
+    def _op_mul_rr(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, rs1 = d
         values = self._values
         if rd:
@@ -583,7 +585,7 @@ class Core:
         else:
             self.stats.instructions_retired += 1
 
-    def _op_mul_ri(self, d) -> None:
+    def _op_mul_ri(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, imm = d
         values = self._values
         if rd:
@@ -604,7 +606,7 @@ class Core:
         else:
             self.stats.instructions_retired += 1
 
-    def _op_sll_rr(self, d) -> None:
+    def _op_sll_rr(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, rs1 = d
         values = self._values
         shift = values[rs1] & 0x3F
@@ -625,7 +627,7 @@ class Core:
             dst.sc = 1
         self._retire()
 
-    def _op_srl_rr(self, d) -> None:
+    def _op_srl_rr(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, rs1 = d
         values = self._values
         shift = values[rs1] & 0x3F
@@ -645,7 +647,7 @@ class Core:
             dst.sc = 1
         self._retire()
 
-    def _op_sll_ri(self, d) -> None:
+    def _op_sll_ri(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, shift = d
         values = self._values
         if rd:
@@ -661,7 +663,7 @@ class Core:
             dst.sc = 1
         self._retire()
 
-    def _op_srl_ri(self, d) -> None:
+    def _op_srl_ri(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, shift = d
         values = self._values
         if rd:
@@ -679,7 +681,7 @@ class Core:
 
     # -- ALU: and/or/xor (Table III "Otherwise" rule) -----------------------------------
 
-    def _op_and_rr(self, d) -> None:
+    def _op_and_rr(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, rs1 = d
         values = self._values
         if rd:
@@ -689,7 +691,7 @@ class Core:
         dst.sc = 1
         self._retire()
 
-    def _op_or_rr(self, d) -> None:
+    def _op_or_rr(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, rs1 = d
         values = self._values
         if rd:
@@ -699,7 +701,7 @@ class Core:
         dst.sc = 1
         self._retire()
 
-    def _op_xor_rr(self, d) -> None:
+    def _op_xor_rr(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, rs1 = d
         values = self._values
         if rd:
@@ -709,7 +711,7 @@ class Core:
         dst.sc = 1
         self._retire()
 
-    def _op_and_ri(self, d) -> None:
+    def _op_and_ri(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, imm = d
         if rd:
             self._values[rd] = self._values[rs0] & imm
@@ -718,7 +720,7 @@ class Core:
         dst.sc = 1
         self._retire()
 
-    def _op_or_ri(self, d) -> None:
+    def _op_or_ri(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, imm = d
         if rd:
             self._values[rd] = self._values[rs0] | imm
@@ -727,7 +729,7 @@ class Core:
         dst.sc = 1
         self._retire()
 
-    def _op_xor_ri(self, d) -> None:
+    def _op_xor_ri(self, d: tuple[Any, ...]) -> None:
         _, rd, rs0, imm = d
         if rd:
             self._values[rd] = self._values[rs0] ^ imm
@@ -738,7 +740,7 @@ class Core:
 
     # -- control flow -------------------------------------------------------------------
 
-    def _op_jmp(self, d) -> None:
+    def _op_jmp(self, d: tuple[Any, ...]) -> None:
         self.pc_index = d[1]
         self.time += self._branch_cost
         if self._speculating:
@@ -746,7 +748,7 @@ class Core:
         else:
             self.stats.instructions_retired += 1
 
-    def _op_branch(self, d) -> None:
+    def _op_branch(self, d: tuple[Any, ...]) -> None:
         _, cond, rs0, rs1, target = d
         values = self._values
         a = values[rs0]
@@ -849,10 +851,10 @@ class Core:
 
     # -- no-effect / serialising / halt -------------------------------------------------
 
-    def _op_nop(self, d) -> None:
+    def _op_nop(self, d: tuple[Any, ...]) -> None:
         self._retire()
 
-    def _op_fence(self, d) -> None:
+    def _op_fence(self, d: tuple[Any, ...]) -> None:
         self._serialized = True
         if self._speculating:
             # Serialising instruction: a transient path cannot proceed
@@ -861,7 +863,7 @@ class Core:
         else:
             self._retire()
 
-    def _op_halt(self, d) -> None:
+    def _op_halt(self, d: tuple[Any, ...]) -> None:
         if self._speculating:
             # A transient halt stalls until the branch resolves.
             self._stall_to_resolve()

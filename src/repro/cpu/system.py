@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.cpu.core import Core, CoreConfig
 from repro.errors import SimulationError, SnapshotError
@@ -33,8 +33,8 @@ class RunResult:
     instructions: int
     core_cycles: list[int]
     core_instructions: list[int]
-    l1d_stats: list[dict]
-    l2_stats: dict
+    l1d_stats: list[dict[str, int | float]]
+    l2_stats: dict[str, int | float]
     prefetch_counts: list[dict[str, int]]
     prefetch_timelines: list[list[tuple[int, str, int]]]
     samples: list[tuple[int, object]] = field(default_factory=list)
@@ -129,7 +129,7 @@ class System:
 
     # -- snapshot/restore ------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """Versioned whole-system snapshot: every core plus the hierarchy.
 
         The result is a plain nested dict of immutable leaves (ints, bools,
@@ -141,7 +141,7 @@ class System:
             "hierarchy": self.hierarchy.snapshot(),
         }
 
-    def restore(self, data: dict) -> None:
+    def restore(self, data: dict[str, Any]) -> None:
         """Inverse of :meth:`snapshot` on a same-shape system.
 
         Raises:
@@ -194,7 +194,13 @@ class System:
         )
 
     def _run_single(
-        self, core, steps, max_steps, sample_interval, sample_fn, samples
+        self,
+        core: Core,
+        steps: int,
+        max_steps: int,
+        sample_interval: int | None,
+        sample_fn: Callable[["System"], object],
+        samples: list[tuple[int, object]],
     ) -> int:
         """Tight loop for one active core; returns the updated step count."""
         step = core.step
@@ -217,7 +223,14 @@ class System:
                 raise self._overrun(max_steps)
 
     def _run_pair(
-        self, first, second, steps, max_steps, sample_interval, sample_fn, samples
+        self,
+        first: Core,
+        second: Core,
+        steps: int,
+        max_steps: int,
+        sample_interval: int | None,
+        sample_fn: Callable[["System"], object],
+        samples: list[tuple[int, object]],
     ) -> int:
         """Two active cores: direct min-time comparison, until one halts.
 
@@ -235,7 +248,13 @@ class System:
                 raise self._overrun(max_steps)
 
     def _run_heap(
-        self, active, steps, max_steps, sample_interval, sample_fn, samples
+        self,
+        active: list[Core],
+        steps: int,
+        max_steps: int,
+        sample_interval: int | None,
+        sample_fn: Callable[["System"], object],
+        samples: list[tuple[int, object]],
     ) -> int:
         """Three or more active cores: heap keyed on (time, position).
 
@@ -287,16 +306,16 @@ class System:
         )
 
 
-def _defense_stats(prefetcher) -> dict[str, int]:
+def _defense_stats(prefetcher: object) -> dict[str, int]:
     """PREFENDER-internal counters for one core's prefetcher (or {})."""
     stats = getattr(prefetcher, "defense_stats", None)
     if callable(stats):
-        return stats()
+        return dict(stats())
     # CompositePrefetcher wraps PREFENDER as `primary`.
     primary = getattr(prefetcher, "primary", None)
     stats = getattr(primary, "defense_stats", None)
     if callable(stats):
-        return stats()
+        return dict(stats())
     return {}
 
 
@@ -304,10 +323,10 @@ def _default_sample(system: System) -> int:
     prefetcher = system.hierarchy.prefetcher_for(0)
     count = getattr(prefetcher, "protected_buffer_count", None)
     if callable(count):
-        return count()
+        return int(count())
     # CompositePrefetcher wraps PREFENDER as `primary`.
     primary = getattr(prefetcher, "primary", None)
     count = getattr(primary, "protected_buffer_count", None)
     if callable(count):
-        return count()
+        return int(count())
     return 0

@@ -19,7 +19,7 @@ exactly the valid lines; every fill/invalidate keeps it in sync.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from repro.errors import ConfigError
 from repro.mem.cacheline import CacheLine
@@ -182,7 +182,11 @@ class Cache:
         block_addr &= self._block_mask
         set_index = (block_addr >> self._block_bits) & self._set_mask
         way = self._tags[set_index].get(block_addr)
-        return None if way is None else self._sets[set_index][way]
+        if way is None:
+            return None
+        ways = self._sets[set_index]
+        assert ways is not None  # the tag index only covers materialised sets
+        return ways[way]
 
     # -- replacement ---------------------------------------------------------
 
@@ -200,7 +204,9 @@ class Cache:
         return stamps.index(min(stamps))
 
     def _evict(self, set_index: int, way: int, now: int) -> None:
-        line = self._sets[set_index][way]
+        ways = self._sets[set_index]
+        assert ways is not None  # _victim_way materialised the set
+        line = ways[way]
         if not line.valid:
             return
         self.stats.evictions += 1
@@ -229,7 +235,9 @@ class Cache:
         set_index = (block_addr >> self._block_bits) & self._set_mask
         way = self._victim_way(set_index)
         self._evict(set_index, way, now)
-        line = self._sets[set_index][way]
+        ways = self._sets[set_index]
+        assert ways is not None  # _victim_way materialised the set
+        line = ways[way]
         line.fill(
             block_addr, ready_time, prefetched=prefetched, component=component
         )
@@ -262,7 +270,9 @@ class Cache:
 
         way = self._tags[set_index].get(block_addr)
         if way is not None:
-            line = self._sets[set_index][way]
+            ways = self._sets[set_index]
+            assert ways is not None  # the tag index only covers materialised sets
+            line = ways[way]
             self._clock += 1
             self._stamps[set_index][way] = self._clock
             if write:
@@ -345,7 +355,9 @@ class Cache:
         way = self._tags[set_index].get(block_addr)
         if way is None:
             return
-        line = self._sets[set_index][way]
+        ways = self._sets[set_index]
+        assert ways is not None  # the tag index only covers materialised sets
+        line = ways[way]
         if not line.prefetched or line.ready_time <= now:
             return
         if self.on_evict is not None:
@@ -402,7 +414,9 @@ class Cache:
         way = self._tags[set_index].pop(block_addr, None)
         if way is None:
             return False
-        line = self._sets[set_index][way]
+        ways = self._sets[set_index]
+        assert ways is not None  # the tag index only covers materialised sets
+        line = ways[way]
         if line.dirty:
             self.stats.writebacks += 1
             self.parent.mark_dirty(line.block_addr)
@@ -426,7 +440,7 @@ class Cache:
 
     # -- snapshot/restore ----------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """All mutable state; only materialised sets are recorded.
 
         Lazy materialisation is itself state: an unmaterialised set and a
@@ -462,7 +476,7 @@ class Cache:
             "mshr": self.mshr.snapshot(),
         }
 
-    def restore(self, data: dict) -> None:
+    def restore(self, data: dict[str, Any]) -> None:
         """Inverse of :meth:`snapshot`; line objects are reused in place."""
         require_keys(data, ("sets", "clock", "stats", "mshr"), self.name)
         snap_sets = data["sets"]

@@ -30,6 +30,7 @@ data side.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import SnapshotError
 from repro.mem.cache import Cache, MemoryPort
@@ -158,7 +159,9 @@ class MemoryHierarchy:
     def attach_prefetcher(self, core_id: int, prefetcher: Prefetcher) -> None:
         """Install ``prefetcher`` on core ``core_id``'s L1D."""
         self._prefetchers[core_id] = prefetcher
-        self._active[core_id] = (
+        # Wiring-time attachment, not sim state: restore() checks the
+        # attachment shape instead of re-creating it.
+        self._active[core_id] = (  # lint: allow SNAP501
             None if isinstance(prefetcher, NullPrefetcher) else prefetcher
         )
 
@@ -346,7 +349,7 @@ class MemoryHierarchy:
 
     # -- snapshot/restore ------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """All mutable hierarchy state: caches, memory, logs, ownership.
 
         Prefetchers are per-core state *attached to* the hierarchy, so they
@@ -371,7 +374,7 @@ class MemoryHierarchy:
             ),
         }
 
-    def restore(self, data: dict) -> None:
+    def restore(self, data: dict[str, Any]) -> None:
         """Inverse of :meth:`snapshot`; attachment shape must match."""
         require_keys(
             data,

@@ -8,6 +8,8 @@ is intentionally not modelled.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.isa.program import Program
 from repro.snapshot import require_keys
 
@@ -49,7 +51,7 @@ class MainMemory:
         """
         self._words[addr] = value & ((1 << 64) - 1)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """Word store plus access counters (``latency`` is configuration)."""
         return {
             "words": dict(self._words),
@@ -57,7 +59,7 @@ class MainMemory:
             "writes": self.writes,
         }
 
-    def restore(self, data: dict) -> None:
+    def restore(self, data: dict[str, Any]) -> None:
         """Inverse of :meth:`snapshot`; the stored dict is copied, never
         aliased, so one snapshot can seed many restores."""
         require_keys(data, ("words", "reads", "writes"), "MainMemory")

@@ -11,6 +11,7 @@ prefetches that find no free entry are *dropped*.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.snapshot import require_keys
 
@@ -72,7 +73,7 @@ class MSHRFile:
         # cache reads this to abandon the in-flight fill itself.
         self.last_squashed_block: int | None = None
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """Outstanding entries (flat tuples, in order) plus counters."""
         return {
             "entries": tuple(
@@ -88,7 +89,7 @@ class MSHRFile:
             "last_squashed_block": self.last_squashed_block,
         }
 
-    def restore(self, data: dict) -> None:
+    def restore(self, data: dict[str, Any]) -> None:
         """Inverse of :meth:`snapshot`."""
         require_keys(
             data,

@@ -1,0 +1,116 @@
+"""Property tests for the abstract cache-state domain.
+
+The timing analysis is only sound if the lattice underneath it behaves:
+``join`` must be an upper bound (idempotent, commutative, monotone) and
+the joined state may never claim more than *both* inputs agree on —
+otherwise a merge point in the CFG could manufacture a definite hit or
+miss that one incoming path contradicts.  The last test pins the other
+end of the spectrum: on a single concrete path (no joins, no havoc) the
+must/may intervals collapse to exact LRU, which is what makes
+``timing_map`` cycle-exact for the straight-line victims.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cachemodel import (
+    HIT,
+    MISS,
+    UNKNOWN,
+    CacheGeometry,
+    CacheState,
+)
+
+#: Small geometry so sequences actually evict: 4 sets x 2 ways.
+GEOMETRY = CacheGeometry(num_sets=4, assoc=2, block_bits=6)
+
+#: A handful of block numbers spanning every set, with set collisions.
+BLOCKS = tuple(range(12))
+
+_ops = st.one_of(
+    st.tuples(st.just("access"), st.sampled_from(BLOCKS)),
+    st.tuples(st.just("flush"), st.sampled_from(BLOCKS)),
+    st.tuples(st.just("havoc_access"), st.none()),
+    st.tuples(st.just("havoc_flush"), st.none()),
+)
+
+op_sequences = st.lists(_ops, max_size=24)
+concrete_sequences = st.lists(st.sampled_from(BLOCKS), max_size=32)
+
+
+def run_ops(ops):
+    state = CacheState(GEOMETRY)
+    for name, arg in ops:
+        if arg is None:
+            getattr(state, name)()
+        else:
+            getattr(state, name)(arg)
+    return state
+
+
+@settings(max_examples=200, deadline=None)
+@given(op_sequences)
+def test_join_idempotent(ops):
+    state = run_ops(ops)
+    assert state.join(state) == state
+
+
+@settings(max_examples=200, deadline=None)
+@given(op_sequences, op_sequences)
+def test_join_commutative(left_ops, right_ops):
+    left, right = run_ops(left_ops), run_ops(right_ops)
+    assert left.join(right) == right.join(left)
+
+
+@settings(max_examples=200, deadline=None)
+@given(op_sequences, op_sequences)
+def test_join_is_upper_bound(left_ops, right_ops):
+    left, right = run_ops(left_ops), run_ops(right_ops)
+    joined = left.join(right)
+    assert left.leq(joined)
+    assert right.leq(joined)
+
+
+@settings(max_examples=100, deadline=None)
+@given(op_sequences, op_sequences, op_sequences)
+def test_join_monotone(low_ops, extra_ops, other_ops):
+    """``a <= b  ==>  a join c <= b join c`` (b built as a join upper)."""
+    low, other = run_ops(low_ops), run_ops(other_ops)
+    high = low.join(run_ops(extra_ops))
+    assert low.leq(high)
+    assert low.join(other).leq(high.join(other))
+
+
+@settings(max_examples=200, deadline=None)
+@given(op_sequences, op_sequences)
+def test_join_over_approximates_both_inputs(left_ops, right_ops):
+    """The join never claims a definite hit/miss either input disputes."""
+    left, right = run_ops(left_ops), run_ops(right_ops)
+    joined = left.join(right)
+    for block in BLOCKS:
+        verdict = joined.classify(block)
+        if verdict == UNKNOWN:
+            continue
+        assert left.classify(block) == verdict, block
+        assert right.classify(block) == verdict, block
+
+
+@settings(max_examples=200, deadline=None)
+@given(concrete_sequences)
+def test_concrete_path_matches_reference_lru(sequence):
+    """No joins, no havoc: the abstract state IS an exact LRU simulator."""
+    state = CacheState(GEOMETRY)
+    lru = {index: [] for index in range(GEOMETRY.num_sets)}
+    for block in sequence:
+        ways = lru[GEOMETRY.set_of(block)]
+        expected = HIT if block in ways else MISS
+        assert state.classify(block) == expected, (sequence, block)
+        if block in ways:
+            ways.remove(block)
+        ways.insert(0, block)
+        del ways[GEOMETRY.assoc:]
+        state.access(block)
+    for block in BLOCKS:
+        ways = lru[GEOMETRY.set_of(block)]
+        expected = HIT if block in ways else MISS
+        assert state.classify(block) == expected, (sequence, block)

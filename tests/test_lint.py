@@ -209,6 +209,94 @@ def test_pool401_clean_with_module_level_callable():
     assert rules_hit(src, SIM) == []
 
 
+# -- SNAP501: snapshot/restore field coverage ---------------------------------
+
+SNAP_BAD = (
+    "class Buffer:\n"
+    "    __slots__ = ('capacity', '_items', 'drops')\n"
+    "    def __init__(self):\n"
+    "        self.capacity = 4\n"
+    "        self._items = []\n"
+    "        self.drops = 0\n"
+    "    def push(self, item):\n"
+    "        self._items.append(item)\n"
+    "        self.drops += 1\n"
+    "    def snapshot(self):\n"
+    "        return {'items': tuple(self._items)}\n"
+    "    def restore(self, data):\n"
+    "        self._items[:] = data['items']\n"
+)
+
+
+def test_snap501_flags_uncovered_mutable_field():
+    assert rules_hit(SNAP_BAD, MEM) == ["SNAP501"]
+
+
+def test_snap501_clean_when_every_mutable_field_is_keyed():
+    src = SNAP_BAD.replace(
+        "return {'items': tuple(self._items)}",
+        "return {'items': tuple(self._items), 'drops': self.drops}",
+    )
+    assert rules_hit(src, MEM) == []
+
+
+def test_snap501_ignores_construction_only_config_fields():
+    # `capacity` is assigned only in __init__: no snapshot key required.
+    src = (
+        "class Buffer:\n"
+        "    __slots__ = ('capacity', '_items')\n"
+        "    def __init__(self):\n"
+        "        self.capacity = 4\n"
+        "        self._items = []\n"
+        "    def push(self, item):\n"
+        "        self._items.append(item)\n"
+        "    def snapshot(self):\n"
+        "        return {'items': tuple(self._items)}\n"
+    )
+    assert rules_hit(src, MEM) == []
+
+
+def test_snap501_counts_restore_keys_and_aggregate_reads():
+    # `drops` is restored under its own key; `_stamps` is serialised
+    # inside the 'sets' aggregate (read by snapshot, no key of its own).
+    src = (
+        "class Cache:\n"
+        "    __slots__ = ('drops', '_stamps')\n"
+        "    def __init__(self):\n"
+        "        self.drops = 0\n"
+        "        self._stamps = [[]]\n"
+        "    def tick(self):\n"
+        "        self.drops += 1\n"
+        "        self._stamps[0] = [1]\n"
+        "    def snapshot(self):\n"
+        "        return {'sets': tuple(tuple(s) for s in self._stamps)}\n"
+        "    def restore(self, data):\n"
+        "        require_keys(data, ('sets', 'drops'), 'Cache')\n"
+    )
+    assert rules_hit(src, MEM) == []
+
+
+def test_snap501_ignores_plain_and_tuple_snapshot_classes():
+    # No __slots__/dataclass fields, and a non-dict snapshot protocol:
+    # both shapes are out of the rule's scope.
+    src = (
+        "class Plain:\n"
+        "    def __init__(self):\n"
+        "        self.x = 0\n"
+        "    def bump(self):\n"
+        "        self.x += 1\n"
+        "    def snapshot(self):\n"
+        "        return {'y': 0}\n"
+        "class Tupled:\n"
+        "    __slots__ = ('x',)\n"
+        "    def bump(self):\n"
+        "        self.x += 1\n"
+        "    def snapshot(self):\n"
+        "        return (self.x,)\n"
+    )
+    assert rules_hit(src, SIM) == []
+
+
 # -- suppressions -------------------------------------------------------------
 
 

@@ -22,6 +22,10 @@ CFG301     config-tree dataclass field that cannot survive a JSON round
            trip: result-store keys fingerprint these configs
 POOL401    lambda or nested function submitted to the worker pool: it
            does not pickle into worker processes
+SNAP501    mutable field of a snapshot-capable class not covered by its
+           snapshot/restore key set: warm replay would silently resume
+           from stale state when someone adds a field and forgets the
+           snapshot dict
 =========  =============================================================
 """
 
@@ -517,6 +521,218 @@ class PoolPicklableRule:
                     )
 
 
+#: Method calls that mutate the receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "push",
+        "remove",
+        "reverse",
+        "rotate",
+        "setdefault",
+        "sort",
+        "touch",
+        "update",
+    }
+)
+
+#: Methods where writing a field does not require snapshot coverage.
+_SNAP_CONSTRUCTORS = frozenset({"__init__", "__post_init__"})
+
+
+def _declared_fields(node: ast.ClassDef) -> set[str]:
+    """Field universe of a ``__slots__`` or dataclass class (else empty)."""
+    fields: set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__slots__"
+            for t in stmt.targets
+        ):
+            if isinstance(stmt.value, (ast.Tuple, ast.List)):
+                fields.update(
+                    elt.value
+                    for elt in stmt.value.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                )
+    if any(
+        _dotted(d.func if isinstance(d, ast.Call) else d).endswith("dataclass")
+        for d in node.decorator_list
+    ):
+        fields.update(
+            stmt.target.id
+            for stmt in node.body
+            if isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id != "__slots__"
+        )
+    return fields
+
+
+def _self_field_of(node: ast.expr) -> str | None:
+    """``self.X``, ``self.X[...]`` or ``self.X.y`` (any depth) -> ``X``."""
+    while isinstance(node, (ast.Subscript, ast.Attribute, ast.Call)):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        node = (
+            node.func
+            if isinstance(node, ast.Call)
+            else node.value  # type: ignore[assignment]
+        )
+    return None
+
+
+def _snapshot_keys(snapshot: ast.FunctionDef) -> set[str] | None:
+    """Coverage set of ``snapshot``: its dict-literal string keys plus any
+    field it reads (a field serialised inside an aggregate entry — the
+    cache's per-set ``(lines, stamps, tags)`` tuples — has no key of its
+    own but is clearly covered).  ``None`` when the snapshot is not
+    dict-shaped (list/tuple protocols are out of scope)."""
+    keys: set[str] = set()
+    saw_dict = False
+    for node in ast.walk(snapshot):
+        if isinstance(node, ast.Dict):
+            saw_dict = True
+            keys.update(
+                key.value
+                for key in node.keys
+                if isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+            )
+        elif (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            keys.add(node.attr)
+            keys.add(node.attr.lstrip("_"))
+    return keys if saw_dict else None
+
+
+def _restore_keys(restore: ast.FunctionDef | None) -> set[str]:
+    """String constants used as keys in ``restore`` (require_keys tuples
+    and ``data["..."]`` subscripts)."""
+    if restore is None:
+        return set()
+    keys: set[str] = set()
+    for node in ast.walk(restore):
+        if isinstance(node, (ast.Tuple, ast.List)):
+            keys.update(
+                elt.value
+                for elt in node.elts
+                if isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)
+            )
+        elif isinstance(node, ast.Subscript) and isinstance(
+            node.slice, ast.Constant
+        ):
+            if isinstance(node.slice.value, str):
+                keys.add(node.slice.value)
+    return keys
+
+
+class SnapshotCoverageRule:
+    """SNAP501: snapshot/restore must cover every mutated declared field.
+
+    For each ``__slots__``/dataclass class defining a dict-shaped
+    ``snapshot()``: a declared field written outside ``__init__`` /
+    ``__post_init__`` (direct assignment, augmented assignment, item or
+    nested-attribute store, or an in-place mutator call) is live
+    simulator state — warm replay resumes from it — so its name (modulo
+    a leading-underscore prefix) must appear in the snapshot dict keys
+    or the restore key set.  Fields only ever assigned at construction
+    are configuration and need no coverage.
+    """
+
+    rule_id = "SNAP501"
+    description = "mutable field missing from the snapshot/restore key set"
+    fixit = "add the field to snapshot()/restore() (or make it config-only)"
+
+    def applies(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    @staticmethod
+    def _mutated_fields(
+        node: ast.ClassDef,
+    ) -> dict[str, int]:
+        """Field -> first line mutating it outside a constructor."""
+        mutated: dict[str, int] = {}
+
+        def note(name: str | None, lineno: int) -> None:
+            if name is not None and name not in mutated:
+                mutated[name] = lineno
+
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in _SNAP_CONSTRUCTORS:
+                continue
+            for child in ast.walk(stmt):
+                targets: list[ast.expr] = []
+                if isinstance(child, ast.Assign):
+                    targets = list(child.targets)
+                elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [child.target]
+                elif isinstance(child, ast.Call):
+                    func = child.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in _MUTATOR_METHODS
+                    ):
+                        note(_self_field_of(func.value), child.lineno)
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        continue  # local, not a field
+                    note(_self_field_of(target), child.lineno)
+        return mutated
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                stmt.name: stmt
+                for stmt in node.body
+                if isinstance(stmt, ast.FunctionDef)
+            }
+            snapshot = methods.get("snapshot")
+            if snapshot is None:
+                continue
+            fields = _declared_fields(node)
+            if not fields:
+                continue  # plain classes are out of this rule's scope
+            keys = _snapshot_keys(snapshot)
+            if keys is None:
+                continue  # list/tuple snapshot protocol
+            keys |= _restore_keys(methods.get("restore"))
+            for name, lineno in sorted(
+                self._mutated_fields(node).items(), key=lambda kv: kv[1]
+            ):
+                if name not in fields:
+                    continue
+                if name in keys or name.lstrip("_") in keys:
+                    continue
+                yield (
+                    lineno,
+                    f"{node.name}.{name} is mutated after construction but "
+                    "missing from the snapshot/restore key set",
+                )
+
+
 LINT_RULES = (
     UnseededRandomRule(),
     WallClockRule(),
@@ -525,4 +741,5 @@ LINT_RULES = (
     SlotsRequiredRule(),
     ConfigJsonRule(),
     PoolPicklableRule(),
+    SnapshotCoverageRule(),
 )
