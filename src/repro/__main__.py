@@ -357,8 +357,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print(f"{rule_id}  [{severity}] {description}")
             print(f"          fix: {fixit}")
         return 0
-    if not args.paths and not args.builtin:
-        raise ConfigError("analyze needs .asm paths and/or --builtin")
+    if not args.paths and not args.builtin and not args.certify:
+        raise ConfigError(
+            "analyze needs .asm paths, --builtin and/or --certify"
+        )
 
     checked = 0
     error_count = 0
@@ -621,6 +623,82 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             ),
         )
 
+    certify_section: dict = {"enabled": False}
+    if args.certify:
+        from repro.analysis import certify_grid
+
+        report_grid = certify_grid()
+        cells = []
+        findings = []
+        for cell in report_grid.cells:
+            cells.append(
+                {
+                    "attack": cell.attack,
+                    "coverage": cell.coverage,
+                    "defense": cell.defense,
+                    "detail": cell.detail,
+                    "distinguishing": list(cell.distinguishing),
+                    "feasible": cell.feasible,
+                    "havoc": list(cell.havoc),
+                    "secrets": list(cell.secrets),
+                    "verdict": cell.verdict,
+                    "victim": cell.victim,
+                    "witness": (
+                        list(cell.witness)
+                        if cell.witness is not None
+                        else None
+                    ),
+                }
+            )
+            rule = None
+            if cell.verdict == "LEAKS":
+                rule = "AN-ATTACK-FEASIBLE"
+            elif cell.verdict == "DEFENDED":
+                rule = "AN-DEFENSE-CERTIFIED"
+            if rule is not None:
+                severity, _, fixit = ANALYSIS_RULES[rule]
+                findings.append(
+                    {
+                        "attack": cell.attack,
+                        "defense": cell.defense,
+                        "fixit": fixit,
+                        "message": cell.detail,
+                        "rule": rule,
+                        "severity": severity,
+                        "victim": cell.victim,
+                        "witness": (
+                            list(cell.witness)
+                            if cell.witness is not None
+                            else None
+                        ),
+                    }
+                )
+        certify_section = {
+            "enabled": True,
+            "victims": sorted({c.victim for c in report_grid.cells}),
+            "attacks": sorted({c.attack for c in report_grid.cells}),
+            "defenses": sorted({c.defense for c in report_grid.cells}),
+            "matrix": cells,
+            "findings": findings,
+            "verdicts": {
+                verdict: report_grid.count(verdict)
+                for verdict in ("LEAKS", "DEFENDED", "UNKNOWN")
+            },
+        }
+        if not args.json:
+            for cell in report_grid.cells:
+                print(
+                    f"certify: {cell.victim} x {cell.attack} x "
+                    f"{cell.defense} -> {cell.verdict} "
+                    f"(coverage {cell.coverage}) -- {cell.detail}"
+                )
+            print(
+                f"certify: {len(report_grid.cells)} cell(s): "
+                f"{report_grid.count('LEAKS')} LEAKS, "
+                f"{report_grid.count('DEFENDED')} DEFENDED, "
+                f"{report_grid.count('UNKNOWN')} UNKNOWN"
+            )
+
     if args.json:
         timing_section: dict = {"enabled": False}
         cache_section: dict = {"enabled": False}
@@ -633,12 +711,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(
             json_module.dumps(
                 {
-                    "schema": "analyze/v2",
+                    "schema": "analyze/v3",
                     "checked": checked,
                     "errors": error_count,
                     "programs": records,
                     "timing": timing_section,
                     "cache": cache_section,
+                    "certify": certify_section,
                 },
                 indent=2,
             )
@@ -872,6 +951,12 @@ def main(argv: list[str] | None = None) -> int:
         help="report abstract cycle bounds and, for secret-bearing "
         "programs, the per-secret timing map and cache-distinguisher "
         "verdict",
+    )
+    analyze.add_argument(
+        "--certify", action="store_true",
+        help="certify the attack x victim x defense grid: two-core "
+        "abstract interpretation yielding LEAKS / DEFENDED / UNKNOWN "
+        "per cell",
     )
     analyze.add_argument(
         "--json", action="store_true",

@@ -31,14 +31,36 @@ from repro.analysis.cachemodel import (
     CacheState,
     HierarchyState,
     LatencyInterval,
+    MultiCoreHierarchyState,
 )
 from repro.analysis.cfg import EXIT, BasicBlock, ControlFlowGraph, build_cfg
+from repro.analysis.defense import (
+    COVERAGE_CERTAIN,
+    COVERAGE_NONE,
+    COVERAGE_POSSIBLE,
+    DefenseModel,
+    apply_havoc,
+    defense_labels,
+    defense_model,
+    havoc_reach,
+    scale_trigger_satisfiable,
+)
 from repro.analysis.footprint import BlockFootprint, SegmentRange
+from repro.analysis.scenario import (
+    DEFENDED,
+    LEAKS,
+    UNKNOWN,
+    CellCertificate,
+    CertificationReport,
+    certify,
+    certify_grid,
+)
 from repro.analysis.taint import (
     KNOWN_SECRET_ADDRS,
     AccessTaint,
     TaintAnalysis,
     leak_map,
+    secret_leak_union,
     taint_analysis,
     taint_of_program,
 )
@@ -58,27 +80,45 @@ __all__ = [
     "AccessTaint",
     "BasicBlock",
     "BlockFootprint",
+    "COVERAGE_CERTAIN",
+    "COVERAGE_NONE",
+    "COVERAGE_POSSIBLE",
     "CacheGeometry",
     "CacheState",
+    "CellCertificate",
+    "CertificationReport",
     "ControlFlowGraph",
     "CycleInterval",
+    "DEFENDED",
+    "DefenseModel",
     "DistinguisherReport",
     "EXIT",
     "Finding",
     "HierarchyState",
     "KNOWN_SECRET_ADDRS",
+    "LEAKS",
     "LatencyInterval",
+    "MultiCoreHierarchyState",
     "ProgramAnalysis",
     "SegmentRange",
     "TaintAnalysis",
     "TimingAnalysis",
+    "UNKNOWN",
     "analyze_program",
     "analyze_timing",
+    "apply_havoc",
     "build_cfg",
     "cache_distinguishers",
+    "certify",
+    "certify_grid",
     "cycle_bounds",
+    "defense_labels",
+    "defense_model",
+    "havoc_reach",
     "leak_map",
     "render_findings",
+    "scale_trigger_satisfiable",
+    "secret_leak_union",
     "taint_analysis",
     "taint_of_program",
     "timing_map",

@@ -29,6 +29,17 @@ AN-CACHE-DISTINGUISH [info] two secrets yield different attacker-observable
                      by :func:`repro.analysis.timing.cache_distinguishers`,
                      not by :func:`analyze_program` — it needs one concrete
                      walk per secret)
+AN-ATTACK-FEASIBLE   [info] the scenario certifier proves the attacker's
+                     candidate set distinguishes secrets on an undefended
+                     (or provably idle) defense row, anchored to a
+                     distinguisher witness (computed by
+                     :func:`repro.analysis.scenario.certify`, not by
+                     :func:`analyze_program` — it walks the attacker ×
+                     victim product)
+AN-DEFENSE-CERTIFIED [info] the scenario certifier proves no secret pair
+                     stays distinguishable in the attacker's observable
+                     under the defense row (same certifier, DEFENDED
+                     verdict)
 ===================  =====================================================
 
 Severities: ``error`` and ``warning`` findings block a strict build
@@ -117,6 +128,18 @@ ANALYSIS_RULES: dict[str, tuple[str, str, str]] = {
         "two secrets leave different attacker-observable cache residency",
         "make the lookup footprint secret-independent (preload the whole "
         "table, or use a constant-time selection network)",
+    ),
+    "AN-ATTACK-FEASIBLE": (
+        "info",
+        "attacker's candidate set provably distinguishes secrets (LEAKS)",
+        "deploy a defense row whose havoc certainly covers the "
+        "distinguishing probe indices (a Scale-Tracker-bearing PREFENDER)",
+    ),
+    "AN-DEFENSE-CERTIFIED": (
+        "info",
+        "no secret pair stays distinguishable under the defense (DEFENDED)",
+        "nothing to fix: the certificate is the machine-checked witness "
+        "that this defense row covers this attack",
     ),
 }
 

@@ -39,10 +39,17 @@ the three latency classes of :mod:`repro.mem.cache` (L1 hit, L2 hit,
 memory), and enforces inclusion: a block can only stay in L1-must while it
 is in L2-must, because an L2 eviction back-invalidates L1 copies.
 
-Scope: single-core demand traffic (loads, write-allocating stores,
-software prefetches, clflush).  Cross-core invalidation and hardware
-prefetcher fills are not modelled — the timing verifier targets the
-undefended ``Base`` configuration, which attaches no prefetcher.
+:class:`HierarchyState` covers single-core demand traffic (loads,
+write-allocating stores, software prefetches, clflush).
+:class:`MultiCoreHierarchyState` extends the same domain to the
+multi-core machine the attack scenarios run: one private L1D
+:class:`CacheState` per core over the shared inclusive L2, with the
+write-invalidate and prefetchw-exclusivity coherence steps of
+:class:`repro.mem.hierarchy.MemoryHierarchy` mirrored as abstract
+transfers.  Hardware prefetcher fills are still not modelled concretely —
+the scenario certifier (:mod:`repro.analysis.scenario`) walks the
+undefended machine and applies each defense as an abstract havoc
+transformer (:mod:`repro.analysis.defense`) instead.
 """
 
 from __future__ import annotations
@@ -192,9 +199,13 @@ class CacheState:
     def flush(self, block: int) -> None:
         """Invalidate ``block`` (clflush / back-invalidation): certain miss.
 
-        Remaining lines keep their age bounds: removing a line never makes
-        another line *older* (upper bounds stay sound) and never makes it
-        *younger* than its lower bound claims.
+        Remaining lines keep their upper bounds: removing a line never
+        makes another line *older*.  Lower bounds, however, must retreat
+        by one when the flushed line was possibly resident: its freed way
+        absorbs one future insertion without evicting anyone, so every
+        surviving line may effectively be one insertion *younger* than
+        its bound claimed (``tests/test_defense_domain.py`` pins this
+        against a reference LRU that fills invalid ways first).
         """
         s = self.geometry.set_of(block)
         must = self._must.get(s)
@@ -204,7 +215,12 @@ class CacheState:
                 del self._must[s]
         may = self._may.get(s)
         if may is not None:
+            freed_way = self.may_universal or block in may
             may.pop(block, None)
+            if freed_way:
+                for c in may:
+                    if may[c] > 0:
+                        may[c] -= 1
             if not may:
                 del self._may[s]
 
@@ -231,9 +247,16 @@ class CacheState:
         """A clflush whose address is unknown: any one line may vanish.
 
         No line is provably resident afterwards (must empties); the may
-        component is untouched — a flush never *adds* residency.
+        component keeps its entries — a flush never *adds* residency —
+        but every lower bound retreats by one, since the flush may have
+        removed a more-recent line in that entry's set (see
+        :meth:`flush`).
         """
         self._must = {}
+        for may in self._may.values():
+            for c in may:
+                if may[c] > 0:
+                    may[c] -= 1
 
     # -- lattice operations ----------------------------------------------------
 
@@ -522,3 +545,274 @@ class HierarchyState:
 
     def __hash__(self) -> int:  # pragma: no cover - mutable, not hashed
         raise TypeError("HierarchyState is mutable and unhashable")
+
+
+class MultiCoreHierarchyState:
+    """N private L1D states over one shared inclusive L2, with coherence.
+
+    The abstract counterpart of :class:`repro.mem.hierarchy.MemoryHierarchy`
+    for ``num_cores`` cores, mirroring its coherence steps as transfers on
+    the must/may domain:
+
+    * a demand access by one core to a line another core holds
+      *exclusively* (after ``prefetchw``) steals it: the owner's L1 copy
+      is invalidated and the exclusivity record dropped;
+    * a store invalidates the line in every other core's L1
+      (write-invalidate) and costs one cycle under ``nonblocking_stores``;
+    * ``prefetchw`` invalidates other copies (paying
+      ``prefetchw_snoop_latency`` when one existed) and records the
+      issuing core as exclusive owner;
+    * ``clflush`` evicts the line from every cache, everywhere.
+
+    Software prefetches are modelled as *completing* fills: the concrete
+    hierarchy drops a prefetch only when the line is absent from L1 *and*
+    no prefetch MSHR is free, and a blocking core pays the full fill
+    latency before issuing its next access, so the MSHR is always free
+    again by then.  The scenario walker's differential oracle
+    (``tests/test_certify_oracle.py``) pins this assumption against the
+    simulator.
+
+    Unlike :class:`HierarchyState`, all addresses must be resolved: the
+    product walker gives up (verdict ``UNKNOWN``) before ever issuing an
+    unresolved access, so no havoc-on-unknown-address path exists here.
+    """
+
+    __slots__ = ("config", "num_cores", "l1s", "l2", "exclusive", "block_bits")
+
+    def __init__(
+        self,
+        config: HierarchyConfig | None = None,
+        num_cores: int = 2,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1: {num_cores}")
+        self.config = config or HierarchyConfig()
+        self.num_cores = num_cores
+        l1_geometry = _level_geometry(
+            self.config.l1d_size, self.config.l1d_assoc, block_size
+        )
+        self.l1s = tuple(CacheState(l1_geometry) for _ in range(num_cores))
+        self.l2 = CacheState(
+            _level_geometry(
+                self.config.l2_size, self.config.l2_assoc, block_size
+            )
+        )
+        #: block -> owning core; records are *certain* (the deterministic
+        #: product walk never merges states with differing ownership, and
+        #: ``join`` pre-resolves uncertain records conservatively).
+        self.exclusive: dict[int, int] = {}
+        self.block_bits = block_size.bit_length() - 1
+
+    # -- latency classes -------------------------------------------------------
+
+    @property
+    def l1_latency(self) -> int:
+        return self.config.l1_hit_latency
+
+    @property
+    def l2_latency(self) -> int:
+        return self.config.l1_hit_latency + self.config.l2_hit_latency
+
+    @property
+    def memory_latency(self) -> int:
+        return (
+            self.config.l1_hit_latency
+            + self.config.l2_hit_latency
+            + self.config.memory_latency
+        )
+
+    def block_of(self, addr: int) -> int:
+        return addr >> self.block_bits
+
+    # -- internal helpers ------------------------------------------------------
+
+    def _enforce_inclusion(self, core: int) -> None:
+        """Per-core inclusion against the shared L2 (see HierarchyState)."""
+        l1 = self.l1s[core]
+        for block in sorted(l1.must_blocks()):
+            if self.l2.classify(block) != HIT:
+                s = l1.geometry.set_of(block)
+                must = l1._must.get(s)
+                if must is not None:
+                    must.pop(block, None)
+                    if not must:
+                        del l1._must[s]
+        if not l1.may_universal:
+            for block in sorted(l1.may_blocks() or frozenset()):
+                if self.l2.classify(block) == MISS:
+                    l1.flush(block)
+
+    def _yield_exclusivity(self, core: int, block: int) -> None:
+        """Steal an exclusively held line when another core touches it."""
+        owner = self.exclusive.get(block)
+        if owner is None or owner == core:
+            return
+        self.l1s[owner].flush(block)
+        del self.exclusive[block]
+
+    def _fill_interval(self, core: int, block: int) -> LatencyInterval:
+        """Demand-fill latency for ``core``; mirrors HierarchyState's."""
+        l1 = self.l1s[core]
+        l1_class = l1.classify(block)
+        if l1_class == HIT:
+            l1.access(block)
+            return LatencyInterval(self.l1_latency, self.l1_latency)
+        l2_class = self.l2.classify(block)
+        if l1_class == MISS:
+            self.l2.access(block)
+            l1.access(block)
+            self._enforce_inclusion(core)
+            if l2_class == HIT:
+                return LatencyInterval(self.l2_latency, self.l2_latency)
+            if l2_class == MISS:
+                return LatencyInterval(self.memory_latency, self.memory_latency)
+            return LatencyInterval(self.l2_latency, self.memory_latency)
+        touched = self.l2.copy()
+        touched.access(block)
+        self.l2 = self.l2.join(touched)
+        l1.access(block)
+        self._enforce_inclusion(core)
+        hi = self.l2_latency if l2_class == HIT else self.memory_latency
+        return LatencyInterval(self.l1_latency, hi)
+
+    # -- demand interface ------------------------------------------------------
+
+    def load(self, core: int, addr: int) -> LatencyInterval:
+        """Demand load by ``core``: steal exclusivity, then fill."""
+        block = self.block_of(addr)
+        self._yield_exclusivity(core, block)
+        return self._fill_interval(core, block)
+
+    def store(self, core: int, addr: int) -> LatencyInterval:
+        """Demand store: write-allocate + write-invalidate other L1 copies."""
+        block = self.block_of(addr)
+        self._yield_exclusivity(core, block)
+        fill = self._fill_interval(core, block)
+        for other, l1 in enumerate(self.l1s):
+            if other != core:
+                l1.flush(block)
+        if self.config.nonblocking_stores:
+            return LatencyInterval(1, 1)
+        return fill
+
+    def prefetch(
+        self, core: int, addr: int, write: bool = False
+    ) -> LatencyInterval:
+        """Software prefetch / prefetchw, modelled as a completing fill.
+
+        ``prefetchw`` pays the snoop penalty when another core's copy was
+        invalidated; when a copy's residency is only *possible* the
+        penalty widens the upper bound instead (the walker then gives up,
+        keeping the verdict sound).
+        """
+        block = self.block_of(addr)
+        snoop_lo = snoop_hi = 0
+        if write:
+            penalty = self.config.prefetchw_snoop_latency
+            for other, l1 in enumerate(self.l1s):
+                if other == core:
+                    continue
+                residency = l1.classify(block)
+                if residency != MISS:
+                    l1.flush(block)
+                    if residency == HIT:
+                        snoop_lo = snoop_hi = penalty
+                    else:
+                        snoop_hi = penalty
+            self.exclusive[block] = core
+        else:
+            self._yield_exclusivity(core, block)
+        fill = self._fill_interval(core, block)
+        return LatencyInterval(fill.lo + snoop_lo, fill.hi + snoop_hi)
+
+    def flush(self, core: int, addr: int) -> LatencyInterval:
+        """clflush: evict the line from every cache level, everywhere."""
+        block = self.block_of(addr)
+        self.exclusive.pop(block, None)
+        for l1 in self.l1s:
+            l1.flush(block)
+        self.l2.flush(block)
+        latency = self.config.flush_latency
+        return LatencyInterval(latency, latency)
+
+    # -- queries ---------------------------------------------------------------
+
+    def observable(self, core: int) -> tuple[object, ...]:
+        """``core``'s attacker-observable residency (its L1 + shared L2)."""
+        return (
+            self.l1s[core].must_blocks(),
+            self.l1s[core].may_blocks(),
+            self.l2.must_blocks(),
+            self.l2.may_blocks(),
+        )
+
+    # -- lattice operations ----------------------------------------------------
+
+    def copy(self) -> "MultiCoreHierarchyState":
+        dup = MultiCoreHierarchyState.__new__(MultiCoreHierarchyState)
+        dup.config = self.config
+        dup.num_cores = self.num_cores
+        dup.l1s = tuple(l1.copy() for l1 in self.l1s)
+        dup.l2 = self.l2.copy()
+        dup.exclusive = dict(self.exclusive)
+        dup.block_bits = self.block_bits
+        return dup
+
+    def join(self, other: "MultiCoreHierarchyState") -> "MultiCoreHierarchyState":
+        """Least upper bound over both cache states and ownership records.
+
+        Ownership kept only where both sides agree; a record present on
+        one side only (or with differing owners) means a later steal is
+        merely *possible*, so the join pre-resolves it conservatively: the
+        record is dropped and the recorded owner's line demoted out of
+        must (its may entry survives — the steal may never happen).
+        """
+        if self.num_cores != other.num_cores:
+            raise ValueError("cannot join states with different core counts")
+        joined = MultiCoreHierarchyState.__new__(MultiCoreHierarchyState)
+        joined.config = self.config
+        joined.num_cores = self.num_cores
+        joined.l1s = tuple(
+            a.join(b) for a, b in zip(self.l1s, other.l1s)
+        )
+        joined.l2 = self.l2.join(other.l2)
+        joined.block_bits = self.block_bits
+        joined.exclusive = {}
+        for block, owner in self.exclusive.items():
+            if other.exclusive.get(block) == owner:
+                joined.exclusive[block] = owner
+        uncertain = (
+            set(self.exclusive.items()) | set(other.exclusive.items())
+        ) - set(joined.exclusive.items())
+        for block, owner in sorted(uncertain):
+            l1 = joined.l1s[owner]
+            s = l1.geometry.set_of(block)
+            must = l1._must.get(s)
+            if must is not None:
+                must.pop(block, None)
+                if not must:
+                    del l1._must[s]
+        return joined
+
+    def leq(self, other: "MultiCoreHierarchyState") -> bool:
+        return (
+            self.num_cores == other.num_cores
+            and self.exclusive == other.exclusive
+            and all(a.leq(b) for a, b in zip(self.l1s, other.l1s))
+            and self.l2.leq(other.l2)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultiCoreHierarchyState):
+            return NotImplemented
+        return (
+            self.config == other.config
+            and self.num_cores == other.num_cores
+            and self.l1s == other.l1s
+            and self.l2 == other.l2
+            and self.exclusive == other.exclusive
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, not hashed
+        raise TypeError("MultiCoreHierarchyState is mutable and unhashable")

@@ -1,0 +1,226 @@
+"""Abstract defense transformers: havoc domains over the must/may state.
+
+Each defense row of the scenario grid becomes an abstract transformer on
+the attacker-observable cache state, with a *coverage* grade saying how
+certainly it fires:
+
+* ``COVERAGE_CERTAIN`` — the trigger condition is abstractly satisfiable
+  on *every* secret-dependent access (PREFENDER's Scale Tracker fires
+  whenever a load's address register is non-architectural and its scale
+  lies strictly between the block and page sizes — true of every crypto
+  victim's scaled table lookup), so the havoc provably lands.
+* ``COVERAGE_POSSIBLE`` — the mechanism may or may not fire (the Access
+  Tracker needs a warm stride history; a disruptive/PCG-style prefetcher
+  injects noise probabilistically), so neither ``LEAKS`` nor ``DEFENDED``
+  can be certified: the verdict is ``UNKNOWN``.
+* ``COVERAGE_NONE`` — the mechanism provably never triggers on the
+  scenario programs (``Base`` has no prefetcher; BITP fires only on L2
+  back-invalidations, which the small scenario footprints never cause),
+  so the undefended verdict stands.
+
+The havoc itself follows the paper's guided-prefetch semantics: any
+probe-array index the union-over-secrets leak map
+(:func:`repro.analysis.taint.secret_leak_union`) marks secret-reachable —
+expanded by the Scale Tracker's same-page ``addr ± scale`` decoy
+neighbours — has its attacker-visible must-bounds widened to top
+(:func:`apply_havoc`): after an unknown number of decoy fills, nothing in
+an affected set is provably resident, and every havocked line is possibly
+resident at any age.  ``tests/test_defense_domain.py`` property-checks the
+transformer (monotone, increasing, and a sound over-approximation of
+arbitrary decoy-access sequences on a reference LRU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.analysis.cachemodel import DEFAULT_BLOCK_SIZE, CacheState
+from repro.analysis.taint import secret_leak_union
+from repro.errors import ConfigError
+
+#: Default page size (``repro.utils.addr.AddressMap.page_size``).
+DEFAULT_PAGE_SIZE = 4096
+
+#: Coverage grades (stable — CLI JSON output uses them).
+COVERAGE_CERTAIN = "certain"
+COVERAGE_POSSIBLE = "possible"
+COVERAGE_NONE = "none"
+
+
+@dataclass(frozen=True)
+class DefenseModel:
+    """Abstract model of one defense row of the scenario grid."""
+
+    label: str
+    #: Which trigger governs the havoc: ``"scale-tracker"`` (certain when
+    #: the scale trigger is satisfiable), ``"access-tracker"`` /
+    #: ``"set-noise"`` (possible), ``"back-invalidation"`` / ``"none"``
+    #: (never fires on the scenario programs).
+    mechanism: str
+    coverage: str
+    description: str
+
+
+_MODELS: dict[str, DefenseModel] = {
+    model.label: model
+    for model in (
+        DefenseModel(
+            label="Base",
+            mechanism="none",
+            coverage=COVERAGE_NONE,
+            description="no prefetcher attached; undefended verdict stands",
+        ),
+        DefenseModel(
+            label="ST",
+            mechanism="scale-tracker",
+            coverage=COVERAGE_CERTAIN,
+            description=(
+                "Scale Tracker decoys certainly cover the secret-reachable "
+                "lines when the scale trigger is satisfiable"
+            ),
+        ),
+        DefenseModel(
+            label="AT",
+            mechanism="access-tracker",
+            coverage=COVERAGE_POSSIBLE,
+            description=(
+                "Access Tracker needs a warm stride history; firing is not "
+                "abstractly certain"
+            ),
+        ),
+        DefenseModel(
+            label="ST+AT",
+            mechanism="scale-tracker",
+            coverage=COVERAGE_CERTAIN,
+            description=(
+                "Scale Tracker component certainly covers the "
+                "secret-reachable lines when the scale trigger is satisfiable"
+            ),
+        ),
+        DefenseModel(
+            label="AT+RP",
+            mechanism="access-tracker",
+            coverage=COVERAGE_POSSIBLE,
+            description=(
+                "no Scale Tracker: the Access Tracker + Record Protector "
+                "pair may or may not fire"
+            ),
+        ),
+        DefenseModel(
+            label="FULL",
+            mechanism="scale-tracker",
+            coverage=COVERAGE_CERTAIN,
+            description=(
+                "full PREFENDER includes the Scale Tracker, which certainly "
+                "covers the secret-reachable lines"
+            ),
+        ),
+        DefenseModel(
+            label="disruptive",
+            mechanism="set-noise",
+            coverage=COVERAGE_POSSIBLE,
+            description=(
+                "PCG-style noise is probabilistic per access; coverage is "
+                "never certain"
+            ),
+        ),
+        DefenseModel(
+            label="bitp",
+            mechanism="back-invalidation",
+            coverage=COVERAGE_NONE,
+            description=(
+                "BITP fires only on L2 back-invalidations, which the "
+                "scenario footprints never cause"
+            ),
+        ),
+    )
+}
+
+
+def defense_labels() -> tuple[str, ...]:
+    """All modelled defense labels, in declaration order."""
+    return tuple(_MODELS)
+
+
+def defense_model(label: str) -> DefenseModel:
+    """Model for one defense label; raises ConfigError on an unknown one."""
+    try:
+        return _MODELS[label]
+    except KeyError:
+        known = ", ".join(_MODELS)
+        raise ConfigError(
+            f"unknown defense label {label!r} (known: {known})"
+        ) from None
+
+
+def scale_trigger_satisfiable(
+    scale: int,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    page_size: int = DEFAULT_PAGE_SIZE,
+) -> bool:
+    """Scale Tracker trigger: the access stride is a plausible record size.
+
+    Mirrors :meth:`repro.core.scale_tracker.ScaleTracker.observe`'s gate:
+    a scale at or below the block size never leaves the accessed line and
+    one at or above the page size never passes the same-page clamp, so the
+    tracker provably cannot fire outside ``(block_size, page_size)``.
+    """
+    return block_size < scale < page_size
+
+
+def havoc_reach(
+    program: Any,
+    secret_space: int,
+    *,
+    probe_base: int,
+    scale: int,
+    num_indices: int,
+    page_size: int = DEFAULT_PAGE_SIZE,
+) -> tuple[int, ...]:
+    """Probe indices a guided prefetcher may fill: leak union + decoys.
+
+    The union-over-secrets leak map is every index the victim itself can
+    touch; each is expanded by the Scale Tracker's ``addr ± scale`` decoy
+    candidates, clamped to the same page exactly as
+    :class:`repro.core.scale_tracker.ScaleTracker` clamps them.
+    """
+    reached = set(
+        secret_leak_union(
+            program,
+            secret_space,
+            probe_base=probe_base,
+            scale=scale,
+            num_indices=num_indices,
+        )
+    )
+    per_page = max(1, page_size // scale) if 0 < scale < page_size else 1
+    for index in tuple(reached):
+        for neighbor in (index - 1, index + 1):
+            if 0 <= neighbor < num_indices and neighbor // per_page == index // per_page:
+                reached.add(neighbor)
+    return tuple(sorted(reached))
+
+
+def apply_havoc(state: CacheState, blocks: Iterable[int]) -> CacheState:
+    """Widen ``state`` by an unknown sequence of accesses to ``blocks``.
+
+    Pure (returns a fresh state).  In every set containing a havocked
+    block the must component empties — repeated decoy fills can age or
+    evict any line there — and each havocked block becomes possibly
+    resident at any age (may lower bound 0).  Other sets, and the
+    surviving may bounds, are untouched: decoy accesses only ever make
+    true ages larger, so existing lower bounds stay sound.
+    """
+    havocked = state.copy()
+    block_set = sorted(set(blocks))
+    touched_sets = {state.geometry.set_of(block) for block in block_set}
+    for s in sorted(touched_sets):
+        havocked._must.pop(s, None)
+    if not havocked.may_universal:
+        for block in block_set:
+            s = state.geometry.set_of(block)
+            per_set = havocked._may.setdefault(s, {})
+            per_set[block] = 0
+    return havocked

@@ -509,3 +509,33 @@ def leak_map(
                         indices.add((address - probe_base) // scale)
             _transfer_bound(state, tup, bindings)
     return tuple(sorted(indices))
+
+
+def secret_leak_union(
+    program: Any,
+    secret_space: int,
+    *,
+    probe_base: int,
+    scale: int,
+    num_indices: int,
+) -> tuple[int, ...]:
+    """Union of :func:`leak_map` over every secret in ``[0, secret_space)``.
+
+    The set of probe-array indices *any* secret can reach — the substrate
+    of the defense havoc domain (:mod:`repro.analysis.defense`): a guided
+    prefetcher that covers a victim's secret-reachable lines must cover
+    this union, because its decoy selection may depend on whichever secret
+    the victim holds.
+    """
+    indices: set[int] = set()
+    for secret in range(max(1, secret_space)):
+        indices.update(
+            leak_map(
+                program,
+                secret,
+                probe_base=probe_base,
+                scale=scale,
+                num_indices=num_indices,
+            )
+        )
+    return tuple(sorted(indices))

@@ -10,10 +10,11 @@ PREFENDER's goal is to make that set ambiguous (Sec. V-B).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any, ClassVar
 
 from repro.attacks.layout import AttackLayout, AttackOptions
 from repro.cpu.core import CoreConfig
-from repro.cpu.system import RunResult
+from repro.cpu.system import RunResult, System
 from repro.isa.program import Program
 from repro.sim.config import SystemConfig
 from repro.sim.simulator import build_system
@@ -99,13 +100,13 @@ class CacheAttack:
     candidate_is_slow = False
     # Per-attack option defaults (Prime+Probe monitors 64 distinct L1 sets;
     # more would alias within the 32KB set span and break even the baseline).
-    DEFAULT_OPTIONS: dict = {}
+    DEFAULT_OPTIONS: ClassVar[dict[str, Any]] = {}
 
     def __init__(
         self,
         options: AttackOptions | None = None,
         layout: AttackLayout | None = None,
-        **option_overrides,
+        **option_overrides: Any,
     ) -> None:
         if options is None:
             merged = dict(self.DEFAULT_OPTIONS)
@@ -141,7 +142,7 @@ class CacheAttack:
 
     def prepare(
         self, system_config: SystemConfig | None = None
-    ) -> "tuple[object, SystemConfig]":
+    ) -> tuple[System, SystemConfig]:
         """Build phase: programs + configured system, ready to simulate.
 
         Returns ``(system, resolved_config)``.  Split out of :meth:`run` so
@@ -158,7 +159,7 @@ class CacheAttack:
         return build_system(programs, config), config
 
     def classify(
-        self, system, config: SystemConfig, result: RunResult
+        self, system: System, config: SystemConfig, result: RunResult
     ) -> AttackOutcome:
         """Classification phase: read back latencies, build the outcome."""
         latencies = [

@@ -18,10 +18,13 @@ after the victim block), so the channel needs no per-line probing at all.
 
 from __future__ import annotations
 
-from repro.attacks.base import CacheAttack
+from typing import Any
+
+from repro.attacks.base import AttackOutcome, CacheAttack
 from repro.attacks.snippets import emit_victim
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
+from repro.sim.config import SystemConfig
 
 
 class EvictTimeAttack(CacheAttack):
@@ -37,7 +40,7 @@ class EvictTimeAttack(CacheAttack):
     def hit_threshold(self) -> int:  # type: ignore[override]
         return self._baseline_time + 6
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self._baseline_time = 0
 
@@ -82,7 +85,11 @@ class EvictTimeAttack(CacheAttack):
         builder.halt()
         return [builder.build(strict=True)]
 
-    def run(self, system_config=None, max_steps=20_000_000):
+    def run(
+        self,
+        system_config: SystemConfig | None = None,
+        max_steps: int = 20_000_000,
+    ) -> AttackOutcome:
         outcome = super().run(system_config, max_steps)
         # Threshold is relative to the un-evicted victim time: take the
         # modal (fast) duration as the baseline.

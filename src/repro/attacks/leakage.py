@@ -60,7 +60,7 @@ def _entropy(counts: Iterable[int], total: int) -> float:
 
 
 def mutual_information_bits(
-    secrets: Sequence[int], observations: Sequence[tuple]
+    secrets: Sequence[int], observations: Sequence[tuple[int, ...]]
 ) -> float:
     """Plug-in ``I(S; X)`` in bits over paired (secret, observation) samples."""
     if len(secrets) != len(observations):

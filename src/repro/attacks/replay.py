@@ -28,18 +28,23 @@ speculation); anything else falls back to the per-job rebuild path in
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
+from repro.cpu.system import System
 from repro.errors import SimulationError
 from repro.isa.decode import K_LOAD
 from repro.isa.registers import WORD_MASK
 
+if TYPE_CHECKING:
+    from repro.runner.job import ScenarioJob, ScenarioProbe
 
-def replay_eligible(job) -> bool:
+
+def replay_eligible(job: ScenarioJob) -> bool:
     """True when ``job`` (a ScenarioJob) can be served off a warm snapshot."""
     return job.options.victim_mode == "direct"
 
 
-def replay_group_key(job) -> str:
+def replay_group_key(job: ScenarioJob) -> str:
     """Content key of a trial's cell: the job with its secret neutralised.
 
     Two jobs share a warm snapshot iff they differ *only* in the trial
@@ -63,16 +68,16 @@ class ScenarioReplayJob:
     disk store, so replayed probes cache exactly like rebuilt ones).
     """
 
-    jobs: tuple
+    jobs: tuple[ScenarioJob, ...]
 
     #: The group task itself is never stored — its members are, per-key.
     cacheable = False
 
-    def run(self) -> list:
+    def run(self) -> list[ScenarioProbe]:
         return replay_group(list(self.jobs))
 
 
-def replay_group(jobs: list) -> list:
+def replay_group(jobs: list[ScenarioJob]) -> list[ScenarioProbe]:
     """Serve a cell's trials off one warmed snapshot, in input order."""
     from repro.runner.job import ATTACK_KINDS
 
@@ -84,7 +89,7 @@ def replay_group(jobs: list) -> list:
     warm_steps = _run_to_watch(system, watch, base.max_steps)
     image = system.snapshot()
     budget = base.max_steps - warm_steps
-    probes = []
+    probes: list[ScenarioProbe] = []
     for job in jobs:
         system.restore(image)
         system.hierarchy.memory.poke(watch, job.options.secret)
@@ -95,7 +100,7 @@ def replay_group(jobs: list) -> list:
     return probes
 
 
-def _run_to_watch(system, watch: int, max_steps: int) -> int:
+def _run_to_watch(system: System, watch: int, max_steps: int) -> int:
     """Advance the system to just before the first demand load of ``watch``.
 
     Steps cores in the scheduler's order (min local time, ties to the

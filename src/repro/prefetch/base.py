@@ -14,7 +14,7 @@ in the L1D cache" candidate filters without reaching into cache internals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.snapshot import require_keys
 
@@ -84,11 +84,11 @@ class Prefetcher:
     def reset(self) -> None:
         """Clear all learned state (used between experiment phases)."""
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """All mutable state; stateless prefetchers return ``{}``."""
         return {}
 
-    def restore(self, data: dict) -> None:
+    def restore(self, data: dict[str, Any]) -> None:
         """Inverse of :meth:`snapshot` (strict-key, in-place)."""
         require_keys(data, (), type(self).__name__)
 

@@ -10,6 +10,8 @@ that our ablation benchmark reproduces.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
 from repro.snapshot import require_keys
 
@@ -25,10 +27,10 @@ class BITPPrefetcher(Prefetcher):
     def reset(self) -> None:
         self.back_invalidation_hits = 0
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         return {"back_invalidation_hits": self.back_invalidation_hits}
 
-    def restore(self, data: dict) -> None:
+    def restore(self, data: dict[str, Any]) -> None:
         require_keys(data, ("back_invalidation_hits",), "BITPPrefetcher")
         self.back_invalidation_hits = data["back_invalidation_hits"]
 

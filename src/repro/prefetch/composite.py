@@ -9,6 +9,8 @@ ones that get dropped.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
 from repro.snapshot import require_keys
 
@@ -25,13 +27,13 @@ class CompositePrefetcher(Prefetcher):
         self.primary.reset()
         self.secondary.reset()
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         return {
             "primary": self.primary.snapshot(),
             "secondary": self.secondary.snapshot(),
         }
 
-    def restore(self, data: dict) -> None:
+    def restore(self, data: dict[str, Any]) -> None:
         require_keys(data, ("primary", "secondary"), "CompositePrefetcher")
         self.primary.restore(data["primary"])
         self.secondary.restore(data["secondary"])

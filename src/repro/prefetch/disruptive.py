@@ -9,6 +9,8 @@ A deterministic xorshift PRNG keeps runs reproducible.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
 from repro.snapshot import require_keys
 from repro.utils.addr import AddressMap
@@ -55,10 +57,10 @@ class DisruptivePrefetcher(Prefetcher):
     def reset(self) -> None:
         self._rng = _XorShift(self._seed)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         return {"rng_state": self._rng._state}
 
-    def restore(self, data: dict) -> None:
+    def restore(self, data: dict[str, Any]) -> None:
         require_keys(data, ("rng_state",), "DisruptivePrefetcher")
         self._rng._state = data["rng_state"]
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any
 
 from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
 from repro.snapshot import require_keys
@@ -49,7 +50,7 @@ class StridePrefetcher(Prefetcher):
     def reset(self) -> None:
         self._table.clear()
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         # Table order matters: eviction pops the oldest entry.
         return {
             "table": tuple(
@@ -58,7 +59,7 @@ class StridePrefetcher(Prefetcher):
             )
         }
 
-    def restore(self, data: dict) -> None:
+    def restore(self, data: dict[str, Any]) -> None:
         require_keys(data, ("table",), "StridePrefetcher")
         self._table.clear()
         for pc, last_addr, stride, confident in data["table"]:

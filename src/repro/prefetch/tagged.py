@@ -9,6 +9,7 @@ running ahead of the consumer.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Any
 
 from repro.prefetch.base import ContainsProbe, Observation, Prefetcher, PrefetchRequest
 from repro.snapshot import require_keys
@@ -34,11 +35,11 @@ class TaggedPrefetcher(Prefetcher):
     def reset(self) -> None:
         self._tagged.clear()
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         # Tag order matters: eviction pops the oldest entry.
         return {"tagged": tuple(self._tagged)}
 
-    def restore(self, data: dict) -> None:
+    def restore(self, data: dict[str, Any]) -> None:
         require_keys(data, ("tagged",), "TaggedPrefetcher")
         self._tagged.clear()
         for block_addr in data["tagged"]:

@@ -1,0 +1,153 @@
+"""Differential oracle: static certify verdicts vs measured attacker success.
+
+The attack-feasibility certifier (``repro.analysis.scenario.certify_grid``)
+claims, per ``victim x attack x defense`` cell, that an attack ``LEAKS``
+(some secret pair is provably distinguishable) or is ``DEFENDED`` (no pair
+survives the defense's havoc).  This suite locks those certificates against
+the dynamic scenario suite *both ways*:
+
+* every ``LEAKS`` cell must measure attacker success >= 0.9 when the grid
+  actually runs (undefended cells measure 1.00 in practice);
+* every ``DEFENDED`` cell must measure exactly 0.00;
+* no measurement may contradict a certificate in either direction.
+
+The static half always covers the full default grid (it is sub-second);
+the dynamic half shrinks under ``CERTIFY_ORACLE_REDUCED=1`` (CI's lint
+job) to one victim and two trial secrets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.scenario import DEFAULT_DEFENSE_ROWS, certify_grid
+from repro.attacks import scenarios
+
+#: CI sets this to shrink the *dynamic* grid; static coverage is unchanged.
+REDUCED = os.environ.get("CERTIFY_ORACLE_REDUCED") == "1"
+
+DYNAMIC_VICTIMS = ("aes-ttable",) if REDUCED else scenarios.DEFAULT_VICTIMS
+DYNAMIC_ATTACKS = ("flush-reload", "adversarial-prefetch-a2")
+DYNAMIC_DEFENSES = ("Base", "FULL")
+DYNAMIC_SECRETS = 2 if REDUCED else scenarios.DEFAULT_SECRETS
+
+
+@pytest.fixture(scope="module")
+def static_grid():
+    """The full default certificate matrix (victims x attacks x Base/FULL)."""
+    return certify_grid()
+
+
+@pytest.fixture(scope="module")
+def dynamic_grid():
+    """Measured attacker success over the (possibly reduced) dynamic grid."""
+    return scenarios.run(
+        victims=DYNAMIC_VICTIMS,
+        attacks=DYNAMIC_ATTACKS,
+        defenses=DYNAMIC_DEFENSES,
+        secrets=DYNAMIC_SECRETS,
+    )
+
+
+def _certificate(grid, victim, attack, defense):
+    for cell in grid.cells:
+        if (cell.victim, cell.attack, cell.defense) == (victim, attack, defense):
+            return cell
+    raise AssertionError(f"no certificate for {(victim, attack, defense)!r}")
+
+
+# -- static shape of the default grid -----------------------------------------
+
+
+def test_grid_covers_the_default_cross_product(static_grid):
+    expected = (
+        len(scenarios.DEFAULT_VICTIMS)
+        * len(scenarios.DEFAULT_ATTACKS)
+        * len(DEFAULT_DEFENSE_ROWS)
+    )
+    assert len(static_grid.cells) == expected
+
+
+def test_every_undefended_cell_is_certified_leaks(static_grid):
+    """Base row: every bundled attack provably works on every victim."""
+    base = [cell for cell in static_grid.cells if cell.defense == "Base"]
+    assert base, "grid has no Base row"
+    for cell in base:
+        assert cell.verdict == "LEAKS", (cell.victim, cell.attack, cell.detail)
+        assert cell.witness is not None, "LEAKS certificate must carry a witness"
+        assert cell.distinguishing, "LEAKS certificate must name leak indices"
+
+
+def test_prefender_statically_defends_every_victim(static_grid):
+    """FULL row: the paper's 1.00 -> 0.00 collapse, re-derived statically."""
+    for victim in scenarios.DEFAULT_VICTIMS:
+        full = [
+            cell
+            for cell in static_grid.cells
+            if cell.victim == victim and cell.defense == "FULL"
+        ]
+        assert full, f"no FULL cells for {victim}"
+        for cell in full:
+            assert cell.verdict == "DEFENDED", (
+                victim,
+                cell.attack,
+                cell.detail,
+            )
+
+
+def test_unknown_fraction_is_bounded(static_grid):
+    assert static_grid.unknown_fraction <= 0.20, static_grid.unknown_fraction
+
+
+# -- differential lock against the dynamic suite ------------------------------
+
+
+def test_leaks_cells_measure_high_success(static_grid, dynamic_grid):
+    checked = 0
+    for dyn in dynamic_grid.cells:
+        cert = _certificate(
+            static_grid, dyn.spec.victim, dyn.spec.attack, dyn.spec.defense
+        )
+        if cert.verdict == "LEAKS":
+            checked += 1
+            assert dyn.score.success_rate >= 0.9, (
+                f"{dyn.spec}: certified LEAKS but measured "
+                f"success {dyn.score.success_rate:.2f}"
+            )
+    assert checked, "dynamic grid exercised no LEAKS certificates"
+
+
+def test_defended_cells_measure_zero_success(static_grid, dynamic_grid):
+    checked = 0
+    for dyn in dynamic_grid.cells:
+        cert = _certificate(
+            static_grid, dyn.spec.victim, dyn.spec.attack, dyn.spec.defense
+        )
+        if cert.verdict == "DEFENDED":
+            checked += 1
+            assert dyn.score.success_rate == 0.0, (
+                f"{dyn.spec}: certified DEFENDED but measured "
+                f"success {dyn.score.success_rate:.2f}"
+            )
+    assert checked, "dynamic grid exercised no DEFENDED certificates"
+
+
+def test_measurements_never_contradict_certificates(static_grid, dynamic_grid):
+    """The reverse direction: high/zero measurements match the verdicts."""
+    for dyn in dynamic_grid.cells:
+        cert = _certificate(
+            static_grid, dyn.spec.victim, dyn.spec.attack, dyn.spec.defense
+        )
+        rate = dyn.score.success_rate
+        if rate >= 0.9:
+            assert cert.verdict != "DEFENDED", (
+                f"{dyn.spec}: measured success {rate:.2f} under a "
+                f"DEFENDED certificate"
+            )
+        if rate == 0.0:
+            assert cert.verdict != "LEAKS", (
+                f"{dyn.spec}: measured success 0.00 under a LEAKS "
+                f"certificate ({cert.detail})"
+            )

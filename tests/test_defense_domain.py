@@ -1,0 +1,185 @@
+"""Property tests for the defense havoc transformer.
+
+The scenario certifier's ``DEFENDED`` verdicts rest on one claim: after a
+certainly-firing defense, :func:`repro.analysis.defense.apply_havoc` is a
+sound over-approximation of *any* sequence of decoy accesses the tracker
+could issue to the havocked blocks.  These tests pin that claim against a
+reference LRU: whatever concrete decoy sequence runs, the concrete cache
+stays inside the concretisation of the havocked abstract state.  The two
+lattice properties (increasing, monotone) are what let the certifier
+apply the havoc *after* the product walk instead of at every schedule
+point.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cachemodel import CacheGeometry, CacheState
+from repro.analysis.defense import apply_havoc
+
+#: Small geometry so sequences actually evict: 4 sets x 2 ways.
+GEOMETRY = CacheGeometry(num_sets=4, assoc=2, block_bits=6)
+
+#: Block numbers spanning every set, with set collisions.
+BLOCKS = tuple(range(12))
+
+_ops = st.one_of(
+    st.tuples(st.just("access"), st.sampled_from(BLOCKS)),
+    st.tuples(st.just("flush"), st.sampled_from(BLOCKS)),
+    st.tuples(st.just("havoc_access"), st.none()),
+    st.tuples(st.just("havoc_flush"), st.none()),
+)
+
+op_sequences = st.lists(_ops, max_size=24)
+havoc_blocks = st.frozensets(st.sampled_from(BLOCKS), max_size=6)
+
+#: Concrete-only strategies for the reference-LRU soundness test.
+concrete_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("access"), st.sampled_from(BLOCKS)),
+        st.tuples(st.just("flush"), st.sampled_from(BLOCKS)),
+    ),
+    max_size=24,
+)
+
+
+def run_ops(ops):
+    state = CacheState(GEOMETRY)
+    for name, arg in ops:
+        if arg is None:
+            getattr(state, name)()
+        else:
+            getattr(state, name)(arg)
+    return state
+
+
+class ReferenceLRU:
+    """Concrete set-associative LRU cache: per-set MRU-first block lists."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self.sets = {s: [] for s in range(geometry.num_sets)}
+
+    def access(self, block: int) -> None:
+        ways = self.sets[self.geometry.set_of(block)]
+        if block in ways:
+            ways.remove(block)
+        ways.insert(0, block)
+        while len(ways) > self.geometry.assoc:
+            ways.pop()
+
+    def flush(self, block: int) -> None:
+        ways = self.sets[self.geometry.set_of(block)]
+        if block in ways:
+            ways.remove(block)
+
+    def age_of(self, block: int) -> int | None:
+        """True LRU age (0 = most recent), or ``None`` if not resident."""
+        ways = self.sets[self.geometry.set_of(block)]
+        return ways.index(block) if block in ways else None
+
+
+def assert_concretizes(concrete: ReferenceLRU, abstract: CacheState) -> None:
+    """The concrete cache is a member of ``abstract``'s concretisation."""
+    for s, must in abstract._must.items():
+        for block, upper in must.items():
+            age = concrete.age_of(block)
+            assert age is not None, (
+                f"must claims block {block} resident, concrete evicted it"
+            )
+            assert age <= upper, (
+                f"must bound {upper} for block {block}, true age {age}"
+            )
+    if not abstract.may_universal:
+        for s, ways in concrete.sets.items():
+            may = abstract._may.get(s, {})
+            for age, block in enumerate(ways):
+                assert block in may, (
+                    f"block {block} resident but absent from may"
+                )
+                assert may[block] <= age, (
+                    f"may lower bound {may[block]} for block {block} "
+                    f"exceeds true age {age}"
+                )
+
+
+# -- lattice properties -------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(op_sequences, havoc_blocks)
+def test_havoc_is_increasing(ops, blocks):
+    """Havoc only loses information: ``state <= apply_havoc(state, B)``."""
+    state = run_ops(ops)
+    assert state.leq(apply_havoc(state, blocks))
+
+
+@settings(max_examples=200, deadline=None)
+@given(op_sequences, havoc_blocks)
+def test_havoc_is_pure(ops, blocks):
+    """The transformer never mutates its input state."""
+    state = run_ops(ops)
+    before = state.copy()
+    apply_havoc(state, blocks)
+    assert state == before
+
+
+@settings(max_examples=200, deadline=None)
+@given(op_sequences, op_sequences, havoc_blocks)
+def test_havoc_is_monotone(low_ops, extra_ops, blocks):
+    """``a <= b  ==>  havoc(a) <= havoc(b)`` (b built as a join upper)."""
+    low = run_ops(low_ops)
+    high = low.join(run_ops(extra_ops))
+    assert apply_havoc(low, blocks).leq(apply_havoc(high, blocks))
+
+
+@settings(max_examples=200, deadline=None)
+@given(op_sequences, havoc_blocks)
+def test_havoc_is_idempotent(ops, blocks):
+    """Re-applying the same havoc adds nothing."""
+    once = apply_havoc(run_ops(ops), blocks)
+    assert apply_havoc(once, blocks) == once
+
+
+# -- soundness against the reference LRU --------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(concrete_ops)
+def test_lockstep_abstraction_is_sound(ops):
+    """Sanity: the abstract domain concretises the reference LRU at all."""
+    concrete = ReferenceLRU(GEOMETRY)
+    abstract = CacheState(GEOMETRY)
+    for name, block in ops:
+        getattr(concrete, name)(block)
+        getattr(abstract, name)(block)
+        assert_concretizes(concrete, abstract)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    concrete_ops,
+    havoc_blocks,
+    st.lists(st.integers(min_value=0, max_value=63), max_size=16),
+)
+def test_havoc_over_approximates_decoy_sequences(ops, blocks, picks):
+    """Any decoy-access sequence over B lands inside the havocked state.
+
+    Drive the reference LRU and the abstract state in lockstep, then run
+    an arbitrary access sequence drawn from the havoc block set B on the
+    *concrete* cache only: the result must still concretise
+    ``apply_havoc(abstract, B)``.  This is exactly the certifier's
+    situation — it never knows how many decoys the Scale Tracker issued,
+    only which lines they could touch.
+    """
+    concrete = ReferenceLRU(GEOMETRY)
+    abstract = CacheState(GEOMETRY)
+    for name, block in ops:
+        getattr(concrete, name)(block)
+        getattr(abstract, name)(block)
+    havocked = apply_havoc(abstract, blocks)
+    ordered = sorted(blocks)
+    for pick in picks:
+        if ordered:
+            concrete.access(ordered[pick % len(ordered)])
+    assert_concretizes(concrete, havocked)

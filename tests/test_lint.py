@@ -297,6 +297,62 @@ def test_snap501_ignores_plain_and_tuple_snapshot_classes():
     assert rules_hit(src, SIM) == []
 
 
+# -- PURE601: analysis purity -------------------------------------------------
+
+
+def test_pure601_flags_attribute_store_on_program():
+    src = (
+        "def annotate(program):\n"
+        "    program.analysis = None\n"
+    )
+    assert rules_hit(src, ANALYSIS) == ["PURE601"]
+
+
+def test_pure601_flags_mutator_call_on_annotated_input():
+    src = (
+        "def scrub(p: Program) -> None:\n"
+        "    p.taint_sources.clear()\n"
+    )
+    assert rules_hit(src, ANALYSIS) == ["PURE601"]
+
+
+def test_pure601_flags_subscript_store_on_decoded():
+    src = (
+        "def patch(decoded):\n"
+        "    decoded[0] = None\n"
+    )
+    assert rules_hit(src, ANALYSIS) == ["PURE601"]
+
+
+def test_pure601_clean_when_analysis_only_reads():
+    src = (
+        "def walk(program):\n"
+        "    out = [len(program)]\n"
+        "    out.append(program.name)\n"
+        "    return out\n"
+    )
+    assert rules_hit(src, ANALYSIS) == []
+
+
+def test_pure601_clean_on_copies_and_other_params():
+    src = (
+        "def havoc(state, memory):\n"
+        "    fresh = state.copy()\n"
+        "    fresh._must.pop(0, None)\n"
+        "    memory[4] = 1\n"
+        "    return fresh\n"
+    )
+    assert rules_hit(src, ANALYSIS) == []
+
+
+def test_pure601_silent_outside_analysis_scope():
+    src = (
+        "def annotate(program):\n"
+        "    program.analysis = None\n"
+    )
+    assert rules_hit(src, SIM) == []
+
+
 # -- suppressions -------------------------------------------------------------
 
 

@@ -26,6 +26,12 @@ SNAP501    mutable field of a snapshot-capable class not covered by its
            snapshot/restore key set: warm replay would silently resume
            from stale state when someone adds a field and forgets the
            snapshot dict
+PURE601    analysis code mutating its program/decode input: the static
+           analyses (``src/repro/analysis/``) promise to be pure readers
+           of decoded programs, so an attribute store or in-place
+           mutator call on a ``program``/``programs``/``decoded``
+           parameter (or any ``Program``-annotated one) would let one
+           consumer's analysis corrupt another's input
 =========  =============================================================
 """
 
@@ -733,6 +739,109 @@ class SnapshotCoverageRule:
                 )
 
 
+#: Parameter names the purity rule always treats as analysis inputs.
+_ANALYSIS_INPUT_NAMES = frozenset({"program", "programs", "decoded"})
+
+#: Annotation suffixes marking a parameter as an analysis input.
+_ANALYSIS_INPUT_ANNOTATIONS = ("Program", "DecodedProgram")
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """Base ``ast.Name`` id of an attribute/subscript/call chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = node.func if isinstance(node, ast.Call) else node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _annotation_suffix(annotation: ast.expr | None) -> str:
+    if annotation is None:
+        return ""
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        return annotation.value.rsplit(".", 1)[-1]
+    return _dotted(annotation).rsplit(".", 1)[-1]
+
+
+class AnalysisPurityRule(_PrefixScopedRule):
+    """PURE601: static analyses must not mutate their program inputs.
+
+    For every function in ``src/repro/analysis/``: a parameter named
+    ``program``/``programs``/``decoded``, or annotated with a ``Program``
+    type, is an analysis *input* shared with every other consumer
+    (``Program.finalize`` caches analyses; the CLI and the certifier walk
+    the same decode tuples).  An attribute/subscript store rooted at such
+    a parameter, or an in-place mutator-method call on it, breaks the
+    package's purity contract — flagged here instead of in review.
+    """
+
+    rule_id = "PURE601"
+    description = "analysis code mutates its program/decode input"
+    fixit = "copy the input first (`state.copy()`, `dict(...)`); analyses read"
+    scope = ("src/repro/analysis/",)
+
+    @staticmethod
+    def _input_params(
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> set[str]:
+        names: set[str] = set()
+        args = func.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            if arg.arg in _ANALYSIS_INPUT_NAMES or _annotation_suffix(
+                arg.annotation
+            ).endswith(_ANALYSIS_INPUT_ANNOTATIONS):
+                names.add(arg.arg)
+        return names
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[tuple[int, str]]:
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            inputs = self._input_params(func)
+            if not inputs:
+                continue
+            # Parameters rebound to a fresh local stop being inputs; keep
+            # the check simple and sound by only tracking the names
+            # themselves (a rebind would shadow, so a flagged line always
+            # names the original object or an honest alias of it).
+            for child in ast.walk(func):
+                targets: list[ast.expr] = []
+                if isinstance(child, ast.Assign):
+                    targets = list(child.targets)
+                elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [child.target]
+                elif isinstance(child, ast.Call):
+                    callee = child.func
+                    if (
+                        isinstance(callee, ast.Attribute)
+                        and callee.attr in _MUTATOR_METHODS
+                        and _root_name(callee.value) in inputs
+                    ):
+                        yield (
+                            child.lineno,
+                            f"`.{callee.attr}()` mutates analysis input "
+                            f"`{_root_name(callee.value)}` in "
+                            f"`{func.name}`",
+                        )
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        continue  # rebinding a local, not a store into it
+                    root = _root_name(target)
+                    if root in inputs:
+                        yield (
+                            child.lineno,
+                            f"store into analysis input `{root}` in "
+                            f"`{func.name}`",
+                        )
+
+
 LINT_RULES = (
     UnseededRandomRule(),
     WallClockRule(),
@@ -742,4 +851,5 @@ LINT_RULES = (
     ConfigJsonRule(),
     PoolPicklableRule(),
     SnapshotCoverageRule(),
+    AnalysisPurityRule(),
 )
